@@ -1,0 +1,103 @@
+//! Criterion benches for the extension studies: the bandwidth-aware
+//! balancer, pooling economics, fleet mixtures, and tuned platforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cxl_alloc::{AllocConfig, TieredAllocator};
+use cxl_core::experiments::balancer::{run_cell, BalancerParams, BalancerPolicy};
+use cxl_cost::pooling::evaluate;
+use cxl_cost::{AppClass, CostModelParams, FleetMixture, PoolingConfig};
+use cxl_llm::server::{simulate as serve, ServerConfig};
+use cxl_llm::{LlmCluster, LlmConfig, LlmPlacement};
+use cxl_perf::{AccessMix, MemSystem, PerfTuning};
+use cxl_sim::SimTime;
+use cxl_tier::TierConfig;
+use cxl_topology::{NodeId, SncMode, SocketId, Topology};
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    let quick = BalancerParams {
+        pages: 4_000,
+        touches_per_epoch: 500,
+        warmup_epochs: 30,
+        measure_epochs: 10,
+        ..Default::default()
+    };
+    g.bench_function("balancer_bw_aware_cell", |b| {
+        b.iter(|| black_box(run_cell(BalancerPolicy::BandwidthAware, 80.0, quick)))
+    });
+    g.bench_function("balancer_hot_promote_cell", |b| {
+        b.iter(|| black_box(run_cell(BalancerPolicy::HotPromote, 80.0, quick)))
+    });
+
+    g.bench_function("pooling_16_hosts", |b| {
+        let cfg = PoolingConfig {
+            samples: 5_000,
+            ..Default::default()
+        };
+        b.iter(|| black_box(evaluate(cfg)))
+    });
+
+    g.bench_function("fleet_mixture_eval", |b| {
+        let fleet = FleetMixture::new(vec![
+            AppClass {
+                name: "kv".into(),
+                fleet_fraction: 0.5,
+                params: CostModelParams::default(),
+            },
+            AppClass {
+                name: "spark".into(),
+                fleet_fraction: 0.5,
+                params: CostModelParams {
+                    rc: 4.0,
+                    ..Default::default()
+                },
+            },
+        ]);
+        b.iter(|| black_box((fleet.server_ratio(), fleet.tco_saving())))
+    });
+
+    g.bench_function("alloc_free_churn_10k", |b| {
+        let topo = Topology::paper_testbed(SncMode::Disabled);
+        b.iter(|| {
+            let mut a = TieredAllocator::new(
+                &topo,
+                TierConfig::bind(vec![NodeId(0)]),
+                AllocConfig::default(),
+            );
+            let mut ids = Vec::new();
+            for i in 0..10_000u64 {
+                ids.push(a.alloc(64 + (i % 1024), SimTime::ZERO).unwrap());
+                if i % 3 == 0 {
+                    a.free(ids.swap_remove((i as usize * 7) % ids.len()));
+                }
+            }
+            black_box(a.fragmentation())
+        })
+    });
+
+    g.bench_function("llm_serving_stack_400_requests", |b| {
+        let cluster = LlmCluster::new(LlmConfig::default());
+        let cfg = ServerConfig {
+            placement: LlmPlacement::Interleave { n: 3, m: 1 },
+            ..Default::default()
+        };
+        b.iter(|| black_box(serve(&cluster, &cfg)))
+    });
+
+    g.bench_function("tuned_system_build_and_probe", |b| {
+        let topo = Topology::paper_testbed(SncMode::Snc4);
+        b.iter(|| {
+            let sys = MemSystem::with_tuning(&topo, PerfTuning::rsf_fixed());
+            black_box(sys.max_bandwidth_gbps(SocketId(1), NodeId(8), AccessMix::ratio(2, 1)))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

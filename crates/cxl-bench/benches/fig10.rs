@@ -1,0 +1,29 @@
+//! Criterion bench for the Fig. 10 LLM serving sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cxl_llm::{LlmCluster, LlmConfig, LlmPlacement};
+
+fn bench_fig10(c: &mut Criterion) {
+    let cluster = LlmCluster::new(LlmConfig::default());
+    let axis: Vec<usize> = (1..=8).map(|b| b * 12).collect();
+
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(30);
+
+    g.bench_function("serving_point_mmem_60", |b| {
+        b.iter(|| black_box(cluster.serving_rate(LlmPlacement::MmemOnly, 60)))
+    });
+    g.bench_function("sweep_interleave_3_1", |b| {
+        b.iter(|| black_box(cluster.sweep(LlmPlacement::Interleave { n: 3, m: 1 }, &axis)))
+    });
+    g.bench_function("full_study", |b| {
+        b.iter(|| black_box(cxl_core::experiments::llm::run()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the Fig. 3 / Fig. 4 loaded-latency sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cxl_mlc::{Mlc, MlcConfig};
+use cxl_perf::{AccessMix, MemSystem};
+use cxl_topology::{NodeId, SncMode, SocketId, Topology};
+
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let sys = MemSystem::new(&Topology::paper_testbed(SncMode::Snc4));
+    let mlc = Mlc::new(MlcConfig::default());
+
+    let mut g = c.benchmark_group("fig3_fig4");
+    g.sample_size(20);
+
+    g.bench_function("loaded_latency_sweep_mmem", |b| {
+        b.iter(|| {
+            black_box(mlc.loaded_latency(&sys, SocketId(0), NodeId(0), AccessMix::read_only()))
+        })
+    });
+
+    g.bench_function("fig3_full_panel_cxl", |b| {
+        b.iter(|| black_box(mlc.fig3_panel(&sys, cxl_perf::Distance::LocalCxl)))
+    });
+
+    g.bench_function("fig4_full_panel_2_1", |b| {
+        b.iter(|| black_box(mlc.fig4_panel(&sys, AccessMix::ratio(2, 1))))
+    });
+
+    g.bench_function("latency_study_complete", |b| {
+        b.iter(|| black_box(cxl_core::experiments::latency::run()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3_fig4);
+criterion_main!(benches);

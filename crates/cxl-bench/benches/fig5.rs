@@ -1,0 +1,39 @@
+//! Criterion bench for the Fig. 5 KeyDB/YCSB cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cxl_core::experiments::keydb::{run_cell, Fig5Params};
+use cxl_core::CapacityConfig;
+use cxl_ycsb::Workload;
+
+fn bench_fig5(c: &mut Criterion) {
+    let params = Fig5Params {
+        record_count: 30_000,
+        ops: 20_000,
+        warmup_ops: 0,
+        seed: 42,
+    };
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+
+    for config in [
+        CapacityConfig::Mmem,
+        CapacityConfig::Interleave11,
+        CapacityConfig::MmemSsd04,
+        CapacityConfig::HotPromote,
+    ] {
+        g.bench_function(format!("ycsb_c_{}", config.label()), |b| {
+            b.iter(|| black_box(run_cell(config, Workload::C, params)))
+        });
+    }
+    g.bench_function("ycsb_a_MMEM", |b| {
+        b.iter(|| black_box(run_cell(CapacityConfig::Mmem, Workload::A, params)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

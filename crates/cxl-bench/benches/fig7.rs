@@ -1,0 +1,42 @@
+//! Criterion bench for the Fig. 7 Spark/TPC-H simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cxl_spark::runner::{run_all, run_query};
+use cxl_spark::{tpch_queries, ClusterConfig};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(20);
+
+    let q9 = tpch_queries().into_iter().find(|q| q.name == "Q9").unwrap();
+    g.bench_function("q9_baseline", |b| {
+        let cfg = ClusterConfig::baseline();
+        b.iter(|| black_box(run_query(&cfg, &q9)))
+    });
+    g.bench_function("q9_interleave_1_3", |b| {
+        let cfg = ClusterConfig::cxl_interleave(1, 3);
+        b.iter(|| black_box(run_query(&cfg, &q9)))
+    });
+    g.bench_function("all_queries_all_configs", |b| {
+        b.iter(|| {
+            for cfg in [
+                ClusterConfig::baseline(),
+                ClusterConfig::cxl_interleave(3, 1),
+                ClusterConfig::cxl_interleave(1, 1),
+                ClusterConfig::cxl_interleave(1, 3),
+                ClusterConfig::spill(0.8),
+                ClusterConfig::spill(0.6),
+                ClusterConfig::hot_promote(),
+            ] {
+                black_box(run_all(&cfg));
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the Fig. 8 MMEM-vs-CXL KeyDB comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cxl_core::experiments::vm::{run, Fig8Params};
+
+fn bench_fig8(c: &mut Criterion) {
+    let params = Fig8Params {
+        record_count: 30_000,
+        ops: 30_000,
+        seed: 42,
+    };
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("mmem_vs_cxl_study", |b| b.iter(|| black_box(run(params))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the substrate hot paths: the flow solver, the
+//! tier manager's touch/migration path, the event engine, and the
+//! statistics primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use cxl_perf::{AccessMix, FlowSpec, MemSystem};
+use cxl_sim::{Engine, SimTime};
+use cxl_stats::dist::KeyChooser;
+use cxl_stats::{Histogram, ScrambledZipfian};
+use cxl_tier::{Rw, TierConfig, TierManager};
+use cxl_topology::{NodeId, SncMode, SocketId, Topology};
+
+fn bench_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.sample_size(50);
+
+    // Flow solver: the innermost loop of every experiment.
+    let sys = MemSystem::new(&Topology::paper_testbed(SncMode::Snc4));
+    let flows: Vec<FlowSpec> = (0..8)
+        .map(|i| {
+            FlowSpec::new(
+                SocketId(i % 2),
+                NodeId(i % 10),
+                AccessMix::ratio(2, 1),
+                10.0 + i as f64,
+            )
+        })
+        .collect();
+    g.bench_function("solver_8_flows", |b| {
+        b.iter(|| black_box(sys.solve(&flows)))
+    });
+
+    // Tier manager touch path.
+    let topo = Topology::paper_testbed(SncMode::Disabled);
+    let mut tm = TierManager::new(&topo, TierConfig::bind(vec![NodeId(0)]));
+    let pages = tm.alloc_n(10_000, SimTime::ZERO).unwrap();
+    g.bench_function("tier_touch_10k", |b| {
+        b.iter(|| {
+            for (i, &p) in pages.iter().enumerate() {
+                black_box(tm.touch(p, Rw::Read, 64, SimTime::from_ns(i as u64)));
+            }
+        })
+    });
+
+    // Event engine throughput.
+    g.bench_function("engine_10k_events", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new(0);
+            for i in 0..10_000u64 {
+                e.schedule_at(SimTime::from_ns(i), |e| *e.state_mut() += 1);
+            }
+            e.run();
+            black_box(*e.state())
+        })
+    });
+
+    // Histogram and Zipfian primitives.
+    g.bench_function("histogram_record_10k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for i in 0..10_000u64 {
+                h.record((i * 97) % 1_000_000 + 1);
+            }
+            black_box(h.percentile(99.0))
+        })
+    });
+    let mut zipf = ScrambledZipfian::new(1_000_000);
+    let mut rng = SmallRng::seed_from_u64(7);
+    g.bench_function("zipfian_draw_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(zipf.next_key(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

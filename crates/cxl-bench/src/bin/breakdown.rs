@@ -1,0 +1,65 @@
+//! Latency anatomy: where each distance's loaded latency comes from.
+//!
+//! Decomposes the loaded latency of the four §3 access distances at 90 %
+//! of their respective peaks into idle path latency plus per-resource
+//! queueing delay — making the §3.2 attributions (memory-controller
+//! queues locally, the Remote Snoop Filter for cross-socket CXL) visible
+//! as numbers.
+
+use cxl_bench::emit;
+use cxl_mlc::Mlc;
+use cxl_perf::{AccessMix, MemSystem, ResourceKind};
+use cxl_stats::report::Table;
+use cxl_topology::{SncMode, Topology};
+
+fn kind_label(kind: ResourceKind) -> String {
+    match kind {
+        ResourceKind::DdrGroup(n) => format!("DDR group (node {})", n.0),
+        ResourceKind::CxlBacking(n) => format!("CXL backing DDR (node {})", n.0),
+        ResourceKind::CxlLinkD2h(n) => format!("CXL link dev->host (node {})", n.0),
+        ResourceKind::CxlLinkH2d(n) => format!("CXL link host->dev (node {})", n.0),
+        ResourceKind::CxlWriteMsg(n) => format!("CXL write credits (node {})", n.0),
+        ResourceKind::UpiDir(a, b) => format!("UPI {} -> {}", a.0, b.0),
+        ResourceKind::UpiWriteCredit(a, b) => format!("UPI wr credits {} -> {}", a.0, b.0),
+        ResourceKind::Rsf(s) => format!("Remote Snoop Filter (socket {})", s.0),
+    }
+}
+
+fn main() {
+    let sys = MemSystem::new(&Topology::paper_testbed(SncMode::Snc4));
+    let mix = AccessMix::ratio(2, 1);
+    let mut table = Table::new(
+        "breakdown",
+        "Loaded-latency anatomy at 90% of peak, 2:1 mix",
+        &["distance", "component", "ns", "% of total"],
+    );
+    for (d, from, node) in Mlc::distance_endpoints(&sys) {
+        let peak = sys.max_bandwidth_gbps(from, node, mix);
+        let flows = [cxl_perf::FlowSpec::new(from, node, mix, 0.9 * peak)];
+        let b = sys.latency_breakdown(&flows, 0);
+        table.push_row(vec![
+            d.label().to_string(),
+            "idle path".to_string(),
+            format!("{:.1}", b.idle_ns),
+            format!("{:.0}%", 100.0 * b.idle_ns / b.total_ns),
+        ]);
+        for (kind, delay) in &b.contributions {
+            if *delay < 0.5 {
+                continue;
+            }
+            table.push_row(vec![
+                String::new(),
+                kind_label(*kind),
+                format!("{delay:.1}"),
+                format!("{:.0}%", 100.0 * delay / b.total_ns),
+            ]);
+        }
+        table.push_row(vec![
+            String::new(),
+            "total".to_string(),
+            format!("{:.1}", b.total_ns),
+            "100%".to_string(),
+        ]);
+    }
+    emit(&table, || table.render());
+}

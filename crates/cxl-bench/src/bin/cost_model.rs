@@ -1,0 +1,32 @@
+//! Regenerates the §6 worked example and an `R_c` sensitivity sweep.
+
+use cxl_bench::{emit, shape_line};
+use cxl_core::experiments::cost;
+
+fn main() {
+    let study = cost::run();
+    emit(&study, || {
+        let mut out = String::new();
+        out.push_str(&study.example_table().render());
+        out.push('\n');
+        out.push_str("# Rc sensitivity (TCO saving)\n");
+        for (rc, saving) in study.rc_sensitivity() {
+            out.push_str(&format!("  Rc = {rc:>3}: saving {:.2}%\n", 100.0 * saving));
+        }
+        out.push('\n');
+        out.push_str("# shape check (paper §6 vs this model)\n");
+        out.push_str(&shape_line(
+            "Ncxl/Nbaseline (Rd=10, Rc=8, C=2)",
+            "67.29%",
+            format!("{:.2}%", 100.0 * study.server_ratio),
+        ));
+        out.push('\n');
+        out.push_str(&shape_line(
+            "TCO saving (Rt=1.1)",
+            "25.98%",
+            format!("{:.2}%", 100.0 * study.tco_saving),
+        ));
+        out.push('\n');
+        out
+    });
+}

@@ -1,0 +1,111 @@
+//! §2.2: how far off is NUMA-based CXL emulation?
+//!
+//! Most pre-hardware CXL research emulated the expander as a remote
+//! NUMA node. The paper points out this "fails to accurately capture
+//! the performance characteristics of CXL memory". With both models in
+//! one substrate we can quantify the gap: remote-socket DDR (the
+//! emulation) vs the calibrated A1000 model (the real thing), at
+//! microbenchmark level and through a full KeyDB run.
+
+use cxl_bench::{emit, shape_line};
+use cxl_kv::{KvConfig, KvStore, MemProfile};
+use cxl_perf::{AccessMix, MemSystem};
+use cxl_stats::report::Table;
+use cxl_tier::TierConfig;
+use cxl_topology::{MemoryTier, NodeId, SncMode, SocketId, Topology};
+use cxl_ycsb::Workload;
+
+fn keydb_bound_to(topo: &Topology, node: NodeId) -> f64 {
+    let kv = KvConfig {
+        record_count: 50_000,
+        profile: MemProfile::standard(),
+        ..Default::default()
+    };
+    let mut store = KvStore::new(topo, TierConfig::bind(vec![node]), kv, false);
+    store.run(Workload::C, 80_000).throughput_ops
+}
+
+fn main() {
+    let topo = Topology::paper_testbed(SncMode::Disabled);
+    let sys = MemSystem::new(&topo);
+    let s0 = SocketId(0);
+    let nodes = sys.nodes().to_vec();
+    let local_dram = nodes
+        .iter()
+        .find(|n| n.tier == MemoryTier::LocalDram && n.socket == s0)
+        .unwrap()
+        .id;
+    let remote_dram = nodes
+        .iter()
+        .find(|n| n.tier == MemoryTier::LocalDram && n.socket != s0)
+        .unwrap()
+        .id;
+    let cxl = nodes
+        .iter()
+        .find(|n| n.tier == MemoryTier::CxlExpander)
+        .unwrap()
+        .id;
+
+    let mut table = Table::new(
+        "emulation-gap",
+        "NUMA emulation (remote DDR) vs real ASIC CXL",
+        &["metric", "NUMA emulation", "real CXL", "emulation error"],
+    );
+    let read = AccessMix::read_only();
+    let emu_lat = sys.idle_latency_ns(s0, remote_dram, read);
+    let cxl_lat = sys.idle_latency_ns(s0, cxl, read);
+    table.push_row(vec![
+        "idle read latency (ns)".into(),
+        format!("{emu_lat:.0}"),
+        format!("{cxl_lat:.0}"),
+        format!("{:.0}% low", 100.0 * (1.0 - emu_lat / cxl_lat)),
+    ]);
+    for mix in [
+        AccessMix::read_only(),
+        AccessMix::ratio(2, 1),
+        AccessMix::write_only(),
+    ] {
+        let emu = sys.max_bandwidth_gbps(s0, remote_dram, mix);
+        let real = sys.max_bandwidth_gbps(s0, cxl, mix);
+        table.push_row(vec![
+            format!("peak bandwidth {} (GB/s)", mix.label()),
+            format!("{emu:.1}"),
+            format!("{real:.1}"),
+            format!("{:+.0}%", 100.0 * (emu / real - 1.0)),
+        ]);
+    }
+
+    // Application level: what slowdown would each methodology predict
+    // for running a workload entirely on the expansion tier?
+    let base = keydb_bound_to(&topo, local_dram);
+    let emu = keydb_bound_to(&topo, remote_dram);
+    let real = keydb_bound_to(&topo, cxl);
+    let emu_penalty = 1.0 - emu / base;
+    let real_penalty = 1.0 - real / base;
+    table.push_row(vec![
+        "KeyDB YCSB-C penalty vs MMEM".into(),
+        format!("{:.1}%", 100.0 * emu_penalty),
+        format!("{:.1}%", 100.0 * real_penalty),
+        format!(
+            "underestimates by {:.1} pts",
+            100.0 * (real_penalty - emu_penalty)
+        ),
+    ]);
+
+    emit(&table, || {
+        let mut out = table.render();
+        out.push('\n');
+        out.push_str("# shape check (paper §2.2 vs this model)\n");
+        out.push_str(&shape_line(
+            "emulation captures CXL accurately",
+            "no (latency and link limits differ)",
+            format!(
+                "latency {:.0}% low, app penalty {:.1} pts low",
+                100.0 * (1.0 - emu_lat / cxl_lat),
+                100.0 * (real_penalty - emu_penalty)
+            ),
+        ));
+        out.push('\n');
+        out
+    });
+}

@@ -1,0 +1,64 @@
+//! Regenerates Fig. 5: KeyDB YCSB throughput and tail latency across the
+//! Table 1 configurations (§4.1).
+
+use cxl_bench::{emit, figure_text, shape_line};
+use cxl_core::experiments::keydb::{run, Fig5Params};
+use cxl_core::CapacityConfig;
+use cxl_ycsb::Workload;
+
+fn main() {
+    let study = run(Fig5Params::default());
+    emit(&study, || {
+        let mut out = String::new();
+        out.push_str(&figure_text(&study.fig5a()));
+        out.push('\n');
+        out.push_str(&study.fig5b().render());
+        out.push('\n');
+        out.push_str(&figure_text(&study.fig5c()));
+        out.push('\n');
+
+        let t = |c| study.throughput(c, Workload::C);
+        let mmem = t(CapacityConfig::Mmem);
+        out.push_str("# shape check (paper §4.1.2 vs this run, YCSB-C)\n");
+        out.push_str(&shape_line(
+            "MMEM is fastest",
+            "yes",
+            format!(
+                "{}",
+                CapacityConfig::all().iter().all(|&c| t(c) <= mmem * 1.0001)
+            ),
+        ));
+        out.push('\n');
+        let hp = t(CapacityConfig::HotPromote);
+        out.push_str(&shape_line(
+            "Hot-Promote vs MMEM",
+            "nearly as well",
+            format!("{:.1}% of MMEM", 100.0 * hp / mmem),
+        ));
+        out.push('\n');
+        for (c, label) in [
+            (CapacityConfig::Interleave31, "3:1"),
+            (CapacityConfig::Interleave11, "1:1"),
+            (CapacityConfig::Interleave13, "1:3"),
+        ] {
+            out.push_str(&shape_line(
+                &format!("interleave {label} slowdown"),
+                "1.2-1.5x",
+                format!("{:.2}x", mmem / t(c)),
+            ));
+            out.push('\n');
+        }
+        for (c, label) in [
+            (CapacityConfig::MmemSsd02, "MMEM-SSD-0.2"),
+            (CapacityConfig::MmemSsd04, "MMEM-SSD-0.4"),
+        ] {
+            out.push_str(&shape_line(
+                &format!("{label} slowdown"),
+                "~1.8x",
+                format!("{:.2}x", mmem / t(c)),
+            ));
+            out.push('\n');
+        }
+        out
+    });
+}

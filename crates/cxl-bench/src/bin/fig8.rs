@@ -1,0 +1,33 @@
+//! Regenerates Fig. 8: KeyDB YCSB-C on CXL-only vs MMEM-only (§4.3).
+
+use cxl_bench::{emit, figure_text, shape_line};
+use cxl_core::experiments::vm::{run, Fig8Params};
+
+fn main() {
+    let study = run(Fig8Params::default());
+    emit(&study, || {
+        let mut out = String::new();
+        out.push_str(&figure_text(&study.fig8a()));
+        out.push('\n');
+        out.push_str(&study.fig8b().render());
+        out.push('\n');
+        out.push_str("# shape check (paper §4.3.2 vs this run)\n");
+        out.push_str(&shape_line(
+            "CXL throughput loss",
+            "~12.5%",
+            format!("{:.1}%", 100.0 * study.throughput_loss()),
+        ));
+        out.push('\n');
+        out.push_str(&shape_line(
+            "read latency penalty (p50/p99)",
+            "9-27%",
+            format!(
+                "{:.1}% / {:.1}%",
+                100.0 * study.latency_penalty(50.0),
+                100.0 * study.latency_penalty(99.0)
+            ),
+        ));
+        out.push('\n');
+        out
+    });
+}

@@ -1,0 +1,86 @@
+//! §4.1's allocator-fragmentation rationale, demonstrated.
+//!
+//! Redis/KeyDB "may not return memory to the system after key deletion,
+//! particularly if deleted keys were on a memory page with active ones",
+//! which is why operators provision for peak (Google Cloud: keep usage
+//! below 80 %; others 75 %). This binary drives the `cxl-alloc` slab
+//! allocator through a store-like churn lifecycle and reports live bytes
+//! vs resident (held) bytes — the gap is the provisioning headroom CXL
+//! capacity can supply cheaply.
+
+use cxl_alloc::{AllocConfig, AllocId, TieredAllocator};
+use cxl_bench::emit;
+use cxl_sim::SimTime;
+use cxl_stats::report::Table;
+use cxl_stats::rng::stream_rng;
+use cxl_tier::TierConfig;
+use cxl_topology::{NodeId, SncMode, Topology};
+use rand::Rng;
+
+fn main() {
+    let topo = Topology::paper_testbed(SncMode::Disabled);
+    let mut a = TieredAllocator::new(
+        &topo,
+        TierConfig::bind(vec![NodeId(0)]),
+        AllocConfig::default(),
+    );
+    let mut rng = stream_rng(42, "fragmentation");
+    let mut live: Vec<AllocId> = Vec::new();
+    let now = SimTime::ZERO;
+
+    let mut table = Table::new(
+        "fragmentation",
+        "Slab-allocator RSS vs live data through a store lifecycle",
+        &["phase", "live (MiB)", "resident (MiB)", "fragmentation"],
+    );
+    let snapshot = |label: &str, a: &TieredAllocator, t: &mut Table| {
+        t.push_row(vec![
+            label.to_string(),
+            format!("{:.1}", a.live_bytes() as f64 / (1 << 20) as f64),
+            format!("{:.1}", a.held_bytes() as f64 / (1 << 20) as f64),
+            format!("{:.1}%", 100.0 * a.fragmentation()),
+        ]);
+    };
+
+    // Phase 1: bulk load 200k x 1 KiB values.
+    for _ in 0..200_000 {
+        live.push(a.alloc(1024, now).expect("fits"));
+    }
+    snapshot("bulk load (200k x 1KiB)", &a, &mut table);
+
+    // Phase 2: delete a random half (TTL expiry / eviction).
+    for i in (1..live.len()).rev() {
+        live.swap(i, rng.gen_range(0..=i));
+    }
+    for id in live.drain(..100_000) {
+        a.free(id);
+    }
+    snapshot("after deleting 50%", &a, &mut table);
+
+    // Phase 3: insert smaller values into the fragmented heap.
+    for _ in 0..100_000 {
+        live.push(a.alloc(256, now).expect("fits"));
+    }
+    snapshot("after 100k x 256B inserts", &a, &mut table);
+
+    // Phase 4: another churn round.
+    for i in (1..live.len()).rev() {
+        live.swap(i, rng.gen_range(0..=i));
+    }
+    for id in live.drain(..50_000) {
+        a.free(id);
+    }
+    snapshot("after second churn", &a, &mut table);
+
+    emit(&table, || {
+        let mut out = table.render();
+        out.push_str(&format!(
+            "\n# Churn keeps RSS {:.1}x above live data: freed slots stay pinned\n\
+             # by live neighbours on the same pages. This is the §4.1 behaviour\n\
+             # behind the 75-80% usage guidance and peak-demand provisioning -\n\
+             # headroom that CXL capacity supplies without another server.\n",
+            a.held_bytes() as f64 / a.live_bytes().max(1) as f64,
+        ));
+        out
+    });
+}

@@ -1,0 +1,17 @@
+//! §3 summary matrices: idle latency and peak bandwidth for every
+//! distance × read:write mix on the paper's testbed.
+
+use cxl_bench::emit;
+use cxl_mlc::{Mlc, MlcConfig};
+use cxl_perf::MemSystem;
+use cxl_topology::{SncMode, Topology};
+
+fn main() {
+    let sys = MemSystem::new(&Topology::paper_testbed(SncMode::Snc4));
+    let mlc = Mlc::new(MlcConfig::default());
+    let idle = mlc.idle_latency_matrix(&sys);
+    let peak = mlc.peak_bandwidth_matrix(&sys);
+    emit(&(idle.clone(), peak.clone()), || {
+        format!("{}\n{}", idle.render(), peak.render())
+    });
+}

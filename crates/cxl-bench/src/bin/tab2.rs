@@ -1,0 +1,10 @@
+//! Regenerates Table 2: Intel processor series and the 1:4 memory
+//! requirement (§4.3).
+
+use cxl_bench::emit;
+use cxl_core::experiments::processors;
+
+fn main() {
+    let table = processors::tab2();
+    emit(&table, || table.render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 3: the Abstract Cost Model parameters (§6).
+
+use cxl_bench::emit;
+use cxl_core::experiments::cost;
+
+fn main() {
+    let study = cost::run();
+    emit(&study, || study.tab3().render());
+}

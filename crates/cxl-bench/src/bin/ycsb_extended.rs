@@ -1,0 +1,55 @@
+//! Extended YCSB suite (A–F) across memory placements.
+//!
+//! The paper evaluates A–D; this adds the standard suite's E (scans) and
+//! F (read-modify-write) over the Table 1 MMEM / interleave / Hot-Promote
+//! configurations, showing that scan-heavy workloads feel the CXL
+//! latency gap hardest (every scanned page pays it).
+
+use cxl_bench::emit;
+use cxl_core::experiments::keydb::{run_cell, Fig5Params};
+use cxl_core::CapacityConfig;
+use cxl_stats::report::Table;
+use cxl_ycsb::Workload;
+
+fn main() {
+    let params = Fig5Params {
+        record_count: 100_000,
+        ops: 80_000,
+        warmup_ops: 120_000,
+        seed: 42,
+    };
+    let configs = [
+        CapacityConfig::Mmem,
+        CapacityConfig::Interleave11,
+        CapacityConfig::HotPromote,
+    ];
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(configs.iter().map(|c| format!("{} (kops/s)", c.label())));
+    let href: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("ycsb-extended", "Full YCSB suite across placements", &href);
+
+    let mut slowdowns = Vec::new();
+    for w in Workload::extended() {
+        let mut row = vec![w.label().to_string()];
+        let mut first = None;
+        for &c in &configs {
+            let cell = run_cell(c, w, params);
+            let kops = cell.throughput_ops / 1e3;
+            let base = *first.get_or_insert(kops);
+            row.push(format!("{kops:.1}"));
+            if c == CapacityConfig::Interleave11 {
+                slowdowns.push((w.label(), base / kops));
+            }
+        }
+        table.push_row(row);
+    }
+
+    emit(&table, || {
+        let mut out = table.render();
+        out.push_str("\n# 1:1 interleave slowdown per workload\n");
+        for (w, s) in &slowdowns {
+            out.push_str(&format!("  {w}: {s:.2}x\n"));
+        }
+        out
+    });
+}

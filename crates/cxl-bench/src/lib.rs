@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! Shared output helpers for the table/figure regeneration binaries.
+//!
+//! Every binary prints the paper artifact as aligned text; passing
+//! `--json` switches to a machine-readable dump. Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p cxl-bench --bin fig3
+//! cargo run --release -p cxl-bench --bin fig5 -- --json
+//! ```
+
+use serde::Serialize;
+
+/// True when `--json` was passed on the command line.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// True when `--chart` was passed on the command line.
+pub fn chart_mode() -> bool {
+    std::env::args().any(|a| a == "--chart")
+}
+
+/// Renders a figure either as an ASCII chart (with `--chart`) or as its
+/// plain `x y` listing.
+pub fn figure_text(fig: &cxl_stats::report::Figure) -> String {
+    if chart_mode() {
+        cxl_stats::chart::render_chart(fig, 72, 20)
+    } else {
+        fig.render()
+    }
+}
+
+/// Prints a serializable report either as JSON (with `--json`) or via
+/// the provided text renderer.
+pub fn emit<T: Serialize>(value: &T, text: impl FnOnce() -> String) {
+    if json_mode() {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("report serializes")
+        );
+    } else {
+        println!("{}", text());
+    }
+}
+
+/// Formats a `paper vs measured` comparison line for the shape summary
+/// each binary appends.
+pub fn shape_line(what: &str, paper: &str, measured: impl std::fmt::Display) -> String {
+    format!("  {what:<58} paper: {paper:<18} measured: {measured}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_line_contains_fields() {
+        let l = shape_line("MMEM idle latency", "97 ns", "97.0 ns");
+        assert!(l.contains("97 ns"));
+        assert!(l.contains("measured"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Table 3 and the §6 worked example.
+
+use serde::Serialize;
+
+use cxl_cost::{CostModel, CostModelParams};
+use cxl_stats::report::Table;
+
+/// The evaluated cost model.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostStudy {
+    /// Parameters (Table 3 example values).
+    pub params: CostModelParams,
+    /// `N_cxl / N_baseline` (paper: 67.29 %).
+    pub server_ratio: f64,
+    /// TCO saving (paper: 25.98 %).
+    pub tco_saving: f64,
+}
+
+impl CostStudy {
+    /// Table 3: parameters and example values.
+    pub fn tab3(&self) -> Table {
+        let mut t = Table::new(
+            "tab3",
+            "Abstract Cost Model parameters",
+            &["parameter", "description", "example"],
+        );
+        let p = self.params;
+        t.push_row(vec![
+            "Ps".into(),
+            "throughput with working set on SSD (normalized)".into(),
+            "1".into(),
+        ]);
+        t.push_row(vec![
+            "Rd".into(),
+            "relative throughput, working set in MMEM".into(),
+            format!("{}", p.rd),
+        ]);
+        t.push_row(vec![
+            "Rc".into(),
+            "relative throughput, working set in CXL".into(),
+            format!("{}", p.rc),
+        ]);
+        t.push_row(vec![
+            "C".into(),
+            "MMEM:CXL capacity ratio per CXL server".into(),
+            format!("{}", p.c),
+        ]);
+        t.push_row(vec![
+            "Rt".into(),
+            "relative TCO of a CXL server".into(),
+            format!("{}", p.rt),
+        ]);
+        t
+    }
+
+    /// The §6 worked-example table.
+    pub fn example_table(&self) -> Table {
+        let mut t = Table::new(
+            "cost-example",
+            "Worked example (§6)",
+            &["quantity", "value"],
+        );
+        t.push_row(vec![
+            "Ncxl / Nbaseline".into(),
+            format!("{:.2}%", 100.0 * self.server_ratio),
+        ]);
+        t.push_row(vec![
+            "server reduction".into(),
+            format!("{:.2}%", 100.0 * (1.0 - self.server_ratio)),
+        ]);
+        t.push_row(vec![
+            "TCO saving".into(),
+            format!("{:.2}%", 100.0 * self.tco_saving),
+        ]);
+        t
+    }
+
+    /// Sensitivity sweep of the TCO saving over `R_c` (ablation).
+    pub fn rc_sensitivity(&self) -> Vec<(f64, f64)> {
+        (2..=9)
+            .map(|rc| {
+                let m = CostModel::new(CostModelParams {
+                    rc: rc as f64,
+                    ..self.params
+                });
+                (rc as f64, m.tco_saving())
+            })
+            .collect()
+    }
+}
+
+/// Evaluates the model at the Table 3 example values.
+pub fn run() -> CostStudy {
+    run_with(CostModelParams::default())
+}
+
+/// Evaluates the model at arbitrary parameters.
+pub fn run_with(params: CostModelParams) -> CostStudy {
+    let m = CostModel::new(params);
+    CostStudy {
+        params,
+        server_ratio: m.server_ratio(),
+        tco_saving: m.tco_saving(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worked_example() {
+        let s = run();
+        assert!((s.server_ratio - 0.6729).abs() < 1e-3);
+        assert!((s.tco_saving - 0.2598).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tables_render() {
+        let s = run();
+        assert_eq!(s.tab3().rows.len(), 5);
+        assert!(s.example_table().render().contains("TCO saving"));
+    }
+
+    #[test]
+    fn sensitivity_is_monotone_in_rc() {
+        let s = run();
+        let sweep = s.rc_sensitivity();
+        for w in sweep.windows(2) {
+            assert!(w[1].1 >= w[0].1, "saving not monotone in Rc: {sweep:?}");
+        }
+    }
+}

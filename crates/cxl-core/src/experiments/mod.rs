@@ -1,0 +1,27 @@
+//! One runner per paper table/figure.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`latency`] | Fig. 3 (loaded latency per distance) and Fig. 4 (per-mix distance comparison, random vs sequential) |
+//! | [`keydb`] | Fig. 5 (YCSB throughput/tail latency across Table 1 configs) |
+//! | [`spark`] | Fig. 7 (TPC-H normalized execution time, shuffle share) |
+//! | [`vm`] | Fig. 8 (KeyDB on CXL vs MMEM) and the §4.3 revenue analysis |
+//! | [`llm`] | Fig. 10 (LLM serving rate, backend bandwidth, KV-cache bandwidth) |
+//! | [`cost`] | Table 3 and the §6 worked example |
+//! | [`processors`] | Table 2 |
+//! | [`balancer`] | §5.3's insight operationalized: bandwidth-aware tiering vs capacity-only tiering |
+//! | [`colocation`] | Multi-tenant isolation: parking the bandwidth hog on CXL (§3.4) |
+//! | [`slo`] | Open-loop tail-latency capacity per placement |
+//! | [`replication`] | Multi-seed mean ± std for any experiment metric |
+
+pub mod balancer;
+pub mod colocation;
+pub mod cost;
+pub mod keydb;
+pub mod latency;
+pub mod llm;
+pub mod processors;
+pub mod replication;
+pub mod slo;
+pub mod spark;
+pub mod vm;

@@ -1,0 +1,50 @@
+//! Table 2: the processor-series memory squeeze.
+
+use cxl_cost::processor_series;
+use cxl_stats::report::Table;
+
+/// Renders Table 2 with the derived 1:4 requirement and constraint flag.
+pub fn tab2() -> Table {
+    let mut t = Table::new(
+        "tab2",
+        "Intel processor series and the 1:4 memory requirement",
+        &[
+            "year",
+            "CPU",
+            "max vCPU/server",
+            "channels/socket",
+            "max memory (TB)",
+            "required 1:4 (TB)",
+            "constrained",
+        ],
+    );
+    for p in processor_series() {
+        t.push_row(vec![
+            p.year.to_string(),
+            p.name.to_string(),
+            p.max_vcpus_per_server.to_string(),
+            p.memory_channels_per_socket
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "TBD".to_string()),
+            format!("{}", p.max_memory_tb),
+            format!("{:.2}", p.required_memory_tb()),
+            if p.memory_constrained() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = tab2();
+        assert_eq!(t.rows.len(), 5);
+        let r = t.render();
+        assert!(r.contains("Sierra Forest"));
+        assert!(r.contains("TBD"));
+        assert!(r.contains("yes"));
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Facade API for the reproduction of *"Exploring Performance and Cost
+//! Optimization with ASIC-Based CXL Memory"* (EuroSys '24).
+//!
+//! Downstream users interact with two things:
+//!
+//! * [`config::CapacityConfig`] — the seven Table-1 configurations
+//!   (`MMEM`, `MMEM-SSD-0.2/0.4`, `3:1`, `1:1`, `1:3`, `Hot-Promote`)
+//!   as builders over a [`cxl_topology::Topology`].
+//! * [`experiments`] — one runner per paper table/figure. Each runner
+//!   returns a typed result that renders to the plain-text
+//!   figures/tables the bench binaries print and that the integration
+//!   tests assert shape properties on.
+//!
+//! # Examples
+//!
+//! ```
+//! use cxl_core::experiments::cost;
+//!
+//! let r = cost::run();
+//! assert!((r.server_ratio - 0.6729).abs() < 1e-3);
+//! ```
+
+pub mod config;
+pub mod experiments;
+
+pub use config::CapacityConfig;

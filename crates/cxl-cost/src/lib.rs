@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Cost and revenue models from the paper.
+//!
+//! * [`model`] — the Abstract Cost Model of §6 (Table 3): given relative
+//!   throughputs of SSD-spill / MMEM / CXL execution and the memory
+//!   capacity ratio, how many CXL-equipped servers replace the baseline
+//!   cluster, and what TCO saving follows.
+//! * [`revenue`] — the §4.3 elastic-compute analysis: revenue recovered
+//!   by selling memory-stranded vCPUs backed by CXL memory at a
+//!   discount.
+//! * [`processors`] — Table 2: Intel processor generations, their vCPU
+//!   counts and memory ceilings, and the 1:4 vCPU:GiB requirement.
+//! * [`mixture`] — §6's stated future work: fleets mixing multiple
+//!   application classes, composed from per-class cost models.
+//! * [`pooling`] — §7.1's CXL 2.0 pooling: statistical-multiplexing
+//!   sizing of a shared expander pool and its cost saving.
+//! * [`placement`] — a discrete VM-placement simulation cross-validating
+//!   the pooling quantile model operationally.
+
+pub mod mixture;
+pub mod model;
+pub mod placement;
+pub mod pooling;
+pub mod processors;
+pub mod revenue;
+
+pub use mixture::{AppClass, FleetMixture};
+pub use model::{CostModel, CostModelParams};
+pub use pooling::{DemandModel, PoolingConfig, PoolingOutcome};
+pub use processors::{processor_series, Processor};
+pub use revenue::RevenueModel;

@@ -1,0 +1,165 @@
+//! Multi-application cost mixtures.
+//!
+//! §6 notes that the Abstract Cost Model covers "only one type of
+//! application at a time" and flags multi-application estates as future
+//! work. This module provides the straightforward composition: a fleet
+//! is a weighted mixture of application classes, each with its own
+//! measured `(R_d, R_c)`; server counts compose linearly because each
+//! class runs on its own slice of the fleet.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{CostModel, CostModelParams};
+
+/// One application class within a fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppClass {
+    /// Display name, e.g. `"Spark SQL"`.
+    pub name: String,
+    /// Fraction of the baseline fleet this class occupies (weights must
+    /// sum to 1).
+    pub fleet_fraction: f64,
+    /// The class's cost-model parameters.
+    pub params: CostModelParams,
+}
+
+/// A weighted mixture of application classes.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetMixture {
+    classes: Vec<AppClass>,
+}
+
+impl FleetMixture {
+    /// Builds a mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no classes, a weight is non-positive, or the
+    /// weights do not sum to 1 (±1e-6).
+    pub fn new(classes: Vec<AppClass>) -> Self {
+        assert!(!classes.is_empty(), "mixture needs at least one class");
+        let total: f64 = classes.iter().map(|c| c.fleet_fraction).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "fleet fractions must sum to 1, got {total}"
+        );
+        for c in &classes {
+            assert!(
+                c.fleet_fraction > 0.0,
+                "class {} has non-positive weight",
+                c.name
+            );
+        }
+        Self { classes }
+    }
+
+    /// The classes.
+    pub fn classes(&self) -> &[AppClass] {
+        &self.classes
+    }
+
+    /// Fleet-wide `N_cxl / N_baseline`: the weighted sum of per-class
+    /// ratios.
+    pub fn server_ratio(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.fleet_fraction * CostModel::new(c.params).server_ratio())
+            .sum()
+    }
+
+    /// Fleet-wide TCO saving with a common relative server cost `R_t`
+    /// (taken from each class's params, weighted).
+    pub fn tco_saving(&self) -> f64 {
+        1.0 - self
+            .classes
+            .iter()
+            .map(|c| c.fleet_fraction * CostModel::new(c.params).server_ratio() * c.params.rt)
+            .sum::<f64>()
+    }
+
+    /// Per-class `(name, server_ratio, tco_saving)` breakdown.
+    pub fn breakdown(&self) -> Vec<(String, f64, f64)> {
+        self.classes
+            .iter()
+            .map(|c| {
+                let m = CostModel::new(c.params);
+                (c.name.clone(), m.server_ratio(), m.tco_saving())
+            })
+            .collect()
+    }
+
+    /// The class with the largest absolute contribution to fleet savings
+    /// (weight × saving).
+    pub fn biggest_contributor(&self) -> &AppClass {
+        self.classes
+            .iter()
+            .max_by(|a, b| {
+                let sa = a.fleet_fraction * CostModel::new(a.params).tco_saving();
+                let sb = b.fleet_fraction * CostModel::new(b.params).tco_saving();
+                sa.total_cmp(&sb)
+            })
+            .expect("non-empty mixture")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(name: &str, w: f64, rd: f64, rc: f64) -> AppClass {
+        AppClass {
+            name: name.to_string(),
+            fleet_fraction: w,
+            params: CostModelParams {
+                rd,
+                rc,
+                c: 2.0,
+                rt: 1.1,
+            },
+        }
+    }
+
+    #[test]
+    fn single_class_matches_plain_model() {
+        let m = FleetMixture::new(vec![class("kv", 1.0, 10.0, 8.0)]);
+        assert!((m.server_ratio() - 0.6729).abs() < 1e-3);
+        assert!((m.tco_saving() - 0.2598).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mixture_interpolates_between_classes() {
+        let fast = class("kv", 0.5, 10.0, 9.0);
+        let slow = class("spark", 0.5, 10.0, 3.0);
+        let mix = FleetMixture::new(vec![fast.clone(), slow.clone()]);
+        let rf = CostModel::new(fast.params).server_ratio();
+        let rs = CostModel::new(slow.params).server_ratio();
+        let r = mix.server_ratio();
+        assert!(r > rf.min(rs) && r < rf.max(rs));
+        assert!((r - 0.5 * (rf + rs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_and_contributor() {
+        let mix = FleetMixture::new(vec![
+            class("kv", 0.7, 10.0, 9.0),
+            class("spark", 0.3, 10.0, 3.0),
+        ]);
+        let b = mix.breakdown();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].0, "kv");
+        // kv: higher weight and better Rc → bigger contributor.
+        assert_eq!(mix.biggest_contributor().name, "kv");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn unnormalized_weights_rejected() {
+        FleetMixture::new(vec![class("a", 0.5, 10.0, 8.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_mixture_rejected() {
+        FleetMixture::new(vec![]);
+    }
+}

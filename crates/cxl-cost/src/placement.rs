@@ -1,0 +1,193 @@
+//! Discrete VM placement over pooled CXL memory.
+//!
+//! The [`crate::pooling`] model sizes a pool from demand quantiles; this
+//! module cross-validates it with an operational simulation: VMs with
+//! random memory demands arrive and depart on a cluster of hosts that
+//! share one CXL pool, and the admission controller places each VM's
+//! overflow (demand beyond host DRAM) into the pool. The measured
+//! rejection rate at a given pool size should agree with the quantile
+//! model's provisioning percentile.
+
+use rand::Rng;
+use serde::Serialize;
+
+use crate::pooling::DemandModel;
+
+// (Demand sampling is shared with the pooling module.)
+
+/// Placement-simulation configuration.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PlacementConfig {
+    /// Hosts sharing the pool.
+    pub hosts: usize,
+    /// DRAM per host, GiB.
+    pub host_dram_gib: f64,
+    /// Shared pool capacity, GiB.
+    pub pool_gib: f64,
+    /// One VM per host at a time (the pooling model's granularity):
+    /// each arrival replaces the host's previous tenant.
+    pub demand: DemandModel,
+    /// Arrival/departure rounds to simulate.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        Self {
+            hosts: 16,
+            host_dram_gib: 512.0,
+            pool_gib: 1_600.0,
+            demand: DemandModel {
+                mean_gib: 512.0,
+                std_gib: 128.0,
+            },
+            rounds: 20_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a placement simulation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PlacementOutcome {
+    /// Tenant placements attempted.
+    pub attempts: u64,
+    /// Placements rejected (overflow did not fit the pool).
+    pub rejections: u64,
+    /// Mean pool occupancy, GiB.
+    pub mean_pool_used_gib: f64,
+    /// Peak pool occupancy, GiB.
+    pub peak_pool_used_gib: f64,
+}
+
+impl PlacementOutcome {
+    /// Fraction of placements rejected.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.rejections as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Runs the discrete placement simulation.
+///
+/// Every round, one random host's tenant departs and a new tenant with a
+/// fresh demand arrives. Demand up to the host's DRAM is served locally;
+/// the excess must fit in the pool's free space or the tenant is
+/// rejected (the host keeps its previous tenant's reservation at zero —
+/// i.e. the slot idles, which is the revenue loss pooling avoids).
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration.
+pub fn simulate(cfg: PlacementConfig) -> PlacementOutcome {
+    assert!(cfg.hosts > 0, "need hosts");
+    assert!(cfg.rounds > 0, "need rounds");
+    assert!(cfg.pool_gib >= 0.0, "negative pool");
+    let mut rng = cxl_stats::rng::stream_rng(cfg.seed, "placement");
+    // Per-host pool usage, GiB (0 when the slot idles).
+    let mut pool_use = vec![0.0f64; cfg.hosts];
+    let mut pool_used: f64 = 0.0;
+    let mut attempts = 0u64;
+    let mut rejections = 0u64;
+    let mut occupancy_sum = 0.0;
+    let mut peak: f64 = 0.0;
+
+    for _ in 0..cfg.rounds {
+        let host = rng.gen_range(0..cfg.hosts);
+        // Departure frees the host's pool share.
+        pool_used -= pool_use[host];
+        pool_use[host] = 0.0;
+
+        // Arrival.
+        let demand = cfg.demand.sample(&mut rng);
+        let overflow = (demand - cfg.host_dram_gib).max(0.0);
+        attempts += 1;
+        if pool_used + overflow <= cfg.pool_gib {
+            pool_use[host] = overflow;
+            pool_used += overflow;
+        } else {
+            rejections += 1;
+        }
+        occupancy_sum += pool_used;
+        peak = peak.max(pool_used);
+    }
+
+    PlacementOutcome {
+        attempts,
+        rejections,
+        mean_pool_used_gib: occupancy_sum / cfg.rounds as f64,
+        peak_pool_used_gib: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pooling::{evaluate, PoolingConfig};
+
+    #[test]
+    fn quantile_sized_pool_meets_its_percentile_operationally() {
+        // Size the pool for p99 with the quantile model, then verify the
+        // discrete simulation rejects ~1 % or less of placements.
+        let pooled = evaluate(PoolingConfig::default());
+        let out = simulate(PlacementConfig {
+            pool_gib: pooled.pool_gib,
+            ..Default::default()
+        });
+        let rate = out.rejection_rate();
+        assert!(rate < 0.03, "rejection rate {rate} for a p99-sized pool");
+        // And the pool is actually used.
+        assert!(out.mean_pool_used_gib > 0.2 * pooled.pool_gib);
+    }
+
+    #[test]
+    fn undersized_pool_rejects_often() {
+        let pooled = evaluate(PoolingConfig::default());
+        let out = simulate(PlacementConfig {
+            pool_gib: pooled.pool_gib * 0.3,
+            ..Default::default()
+        });
+        assert!(
+            out.rejection_rate() > 0.05,
+            "rate {} with a 30% pool",
+            out.rejection_rate()
+        );
+    }
+
+    #[test]
+    fn infinite_pool_never_rejects() {
+        let out = simulate(PlacementConfig {
+            pool_gib: f64::INFINITY,
+            ..Default::default()
+        });
+        assert_eq!(out.rejections, 0);
+        assert!(out.peak_pool_used_gib.is_finite());
+    }
+
+    #[test]
+    fn zero_variance_needs_no_pool() {
+        let out = simulate(PlacementConfig {
+            demand: DemandModel {
+                mean_gib: 400.0,
+                std_gib: 0.0,
+            },
+            pool_gib: 0.0,
+            ..Default::default()
+        });
+        assert_eq!(out.rejections, 0);
+        assert_eq!(out.peak_pool_used_gib, 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate(PlacementConfig::default());
+        let b = simulate(PlacementConfig::default());
+        assert_eq!(a.rejections, b.rejections);
+        assert_eq!(a.peak_pool_used_gib, b.peak_pool_used_gib);
+    }
+}

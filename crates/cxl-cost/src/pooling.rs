@@ -1,0 +1,217 @@
+//! CXL memory pooling economics (§6 extension, §7.1).
+//!
+//! CXL 2.0 lets up to 16 hosts share a pooled expander. The saving comes
+//! from statistical multiplexing: without a pool every host provisions
+//! DRAM for its own peak demand, while a pool only needs to absorb the
+//! *aggregate* excess over the hosts' base DRAM — and uncorrelated peaks
+//! rarely align. This module sizes pool and per-host DRAM against a
+//! deterministic Monte-Carlo demand model and prices the result.
+
+use cxl_stats::Normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-host memory demand distribution (truncated normal, GiB).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandModel {
+    /// Mean demand, GiB.
+    pub mean_gib: f64,
+    /// Standard deviation, GiB.
+    pub std_gib: f64,
+}
+
+impl DemandModel {
+    /// Draws one demand sample (non-negative).
+    pub(crate) fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal::new(self.mean_gib, self.std_gib).sample_non_negative(rng)
+    }
+}
+
+/// Pooling study configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolingConfig {
+    /// Hosts sharing one pool (CXL 2.0 allows up to 16).
+    pub hosts: usize,
+    /// Per-host demand model.
+    pub demand: DemandModel,
+    /// Provisioning percentile (e.g. 0.99: demand must fit 99 % of the
+    /// time).
+    pub percentile: f64,
+    /// Base DRAM per host with pooling, GiB (sized for typical demand;
+    /// the pool absorbs the excess).
+    pub local_dram_gib: f64,
+    /// Relative cost of pooled CXL capacity per GiB versus DRAM
+    /// (includes controller/switch amortization; >1 means CXL GiB costs
+    /// more, <1 less).
+    pub cxl_cost_per_gib_rel: f64,
+    /// Monte-Carlo samples.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PoolingConfig {
+    fn default() -> Self {
+        Self {
+            hosts: 16,
+            demand: DemandModel {
+                mean_gib: 512.0,
+                std_gib: 128.0,
+            },
+            percentile: 0.99,
+            local_dram_gib: 512.0,
+            cxl_cost_per_gib_rel: 0.9,
+            samples: 20_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a pooling study.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PoolingOutcome {
+    /// Per-host DRAM without pooling (individual p-quantile), GiB.
+    pub dram_per_host_no_pool_gib: f64,
+    /// Total memory without pooling, GiB.
+    pub total_no_pool_gib: f64,
+    /// Pool size required with pooling, GiB.
+    pub pool_gib: f64,
+    /// Total memory with pooling (host DRAM + pool), GiB.
+    pub total_pool_gib: f64,
+    /// Capacity saving fraction.
+    pub capacity_saving: f64,
+    /// Cost saving fraction after pricing CXL GiB vs DRAM GiB.
+    pub cost_saving: f64,
+}
+
+/// Quantile of a sorted slice (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Runs the pooling study.
+///
+/// # Panics
+///
+/// Panics on degenerate configuration (no hosts/samples, percentile out
+/// of `(0, 1)`).
+pub fn evaluate(cfg: PoolingConfig) -> PoolingOutcome {
+    assert!(cfg.hosts > 0, "need at least one host");
+    assert!(cfg.samples > 0, "need samples");
+    assert!(
+        cfg.percentile > 0.0 && cfg.percentile < 1.0,
+        "percentile out of range"
+    );
+    let mut rng = cxl_stats::rng::stream_rng(cfg.seed, "pooling");
+
+    let mut per_host: Vec<f64> = Vec::with_capacity(cfg.samples);
+    let mut aggregate_excess: Vec<f64> = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples {
+        let mut excess = 0.0;
+        for _ in 0..cfg.hosts {
+            let d = cfg.demand.sample(&mut rng);
+            per_host.push(d);
+            excess += (d - cfg.local_dram_gib).max(0.0);
+        }
+        aggregate_excess.push(excess);
+    }
+    per_host.sort_by(f64::total_cmp);
+    aggregate_excess.sort_by(f64::total_cmp);
+
+    let dram_no_pool = quantile(&per_host, cfg.percentile);
+    let total_no_pool = dram_no_pool * cfg.hosts as f64;
+    let pool = quantile(&aggregate_excess, cfg.percentile);
+    let total_pool = cfg.local_dram_gib * cfg.hosts as f64 + pool;
+    let cost_no_pool = total_no_pool;
+    let cost_pool = cfg.local_dram_gib * cfg.hosts as f64 + pool * cfg.cxl_cost_per_gib_rel;
+    PoolingOutcome {
+        dram_per_host_no_pool_gib: dram_no_pool,
+        total_no_pool_gib: total_no_pool,
+        pool_gib: pool,
+        total_pool_gib: total_pool,
+        capacity_saving: 1.0 - total_pool / total_no_pool,
+        cost_saving: 1.0 - cost_pool / cost_no_pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooling_saves_capacity_via_multiplexing() {
+        let out = evaluate(PoolingConfig::default());
+        // Individual p99 needs mean + ~2.33 sigma per host; the pool only
+        // needs the aggregate p99 of the excesses.
+        assert!(out.dram_per_host_no_pool_gib > 700.0);
+        assert!(out.capacity_saving > 0.15, "saving {}", out.capacity_saving);
+        assert!(out.capacity_saving < 0.60);
+        assert!(out.cost_saving > out.capacity_saving - 0.1);
+        assert!(out.total_pool_gib < out.total_no_pool_gib);
+    }
+
+    #[test]
+    fn more_hosts_multiplex_better() {
+        let small = evaluate(PoolingConfig {
+            hosts: 2,
+            ..Default::default()
+        });
+        let large = evaluate(PoolingConfig {
+            hosts: 16,
+            ..Default::default()
+        });
+        assert!(
+            large.capacity_saving > small.capacity_saving,
+            "16 hosts {} vs 2 hosts {}",
+            large.capacity_saving,
+            small.capacity_saving
+        );
+    }
+
+    #[test]
+    fn zero_variance_leaves_nothing_to_pool() {
+        let out = evaluate(PoolingConfig {
+            demand: DemandModel {
+                mean_gib: 512.0,
+                std_gib: 0.0,
+            },
+            ..Default::default()
+        });
+        assert!(out.pool_gib < 1.0, "pool {}", out.pool_gib);
+        assert!(out.capacity_saving.abs() < 0.01);
+    }
+
+    #[test]
+    fn expensive_cxl_erodes_cost_saving() {
+        let cheap = evaluate(PoolingConfig {
+            cxl_cost_per_gib_rel: 0.8,
+            ..Default::default()
+        });
+        let pricey = evaluate(PoolingConfig {
+            cxl_cost_per_gib_rel: 1.5,
+            ..Default::default()
+        });
+        assert!(cheap.cost_saving > pricey.cost_saving);
+        // Capacity saving is price-independent.
+        assert!((cheap.capacity_saving - pricey.capacity_saving).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = evaluate(PoolingConfig::default());
+        let b = evaluate(PoolingConfig::default());
+        assert_eq!(a.pool_gib, b.pool_gib);
+        assert_eq!(a.capacity_saving, b.capacity_saving);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn bad_percentile_rejected() {
+        evaluate(PoolingConfig {
+            percentile: 1.0,
+            ..Default::default()
+        });
+    }
+}

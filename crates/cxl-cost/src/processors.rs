@@ -1,0 +1,122 @@
+//! Intel processor series and the vCPU:memory squeeze (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Launch year (as listed; some delayed).
+    pub year: &'static str,
+    /// Product name.
+    pub name: &'static str,
+    /// Maximum vCPUs in a 2-socket server.
+    pub max_vcpus_per_server: u32,
+    /// DDR channels per socket (`None` where the paper lists TBD).
+    pub memory_channels_per_socket: Option<u32>,
+    /// Maximum supported memory, TB.
+    pub max_memory_tb: f64,
+}
+
+impl Processor {
+    /// Memory required to sell every vCPU at the 1:4 ratio, TB
+    /// (4 GiB per vCPU; the paper's "Required Memory (1:4)" column).
+    pub fn required_memory_tb(&self) -> f64 {
+        self.max_vcpus_per_server as f64 * 4.0 / 1000.0
+    }
+
+    /// True when the platform cannot supply the 1:4 ratio from DDR
+    /// alone — the CXL opportunity (§4.3).
+    pub fn memory_constrained(&self) -> bool {
+        self.required_memory_tb() > self.max_memory_tb
+    }
+}
+
+/// Table 2 verbatim.
+pub fn processor_series() -> Vec<Processor> {
+    vec![
+        Processor {
+            year: "2021",
+            name: "IceLake-SP",
+            max_vcpus_per_server: 160,
+            memory_channels_per_socket: Some(8),
+            max_memory_tb: 4.0,
+        },
+        Processor {
+            year: "2022 (delayed)",
+            name: "Sapphire Rapids",
+            max_vcpus_per_server: 192,
+            memory_channels_per_socket: Some(8),
+            max_memory_tb: 4.0,
+        },
+        Processor {
+            year: "2023 (delayed)",
+            name: "Emerald Rapids",
+            max_vcpus_per_server: 256,
+            memory_channels_per_socket: Some(8),
+            max_memory_tb: 4.0,
+        },
+        Processor {
+            year: "2024+",
+            name: "Sierra Forest",
+            max_vcpus_per_server: 1152,
+            memory_channels_per_socket: Some(12),
+            max_memory_tb: 4.0,
+        },
+        Processor {
+            year: "2025+",
+            name: "Clearwater Forest",
+            max_vcpus_per_server: 1152,
+            memory_channels_per_socket: None,
+            max_memory_tb: 4.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_five_generations() {
+        let t = processor_series();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0].name, "IceLake-SP");
+        assert_eq!(t[4].name, "Clearwater Forest");
+    }
+
+    #[test]
+    fn required_memory_matches_table() {
+        let t = processor_series();
+        // Table 2: 0.64, 0.768, 1, 4.5, 4.5 TB.
+        let expected = [0.64, 0.768, 1.024, 4.608, 4.608];
+        for (p, e) in t.iter().zip(expected) {
+            assert!(
+                (p.required_memory_tb() - e).abs() < 0.03,
+                "{}: {} vs {}",
+                p.name,
+                p.required_memory_tb(),
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn sierra_forest_is_memory_constrained() {
+        // §4.3: Sierra Forest supports 1152 vCPUs but <4 TB of memory,
+        // short of the ~4.5 TB the 1:4 ratio demands.
+        let t = processor_series();
+        let sf = t.iter().find(|p| p.name == "Sierra Forest").unwrap();
+        assert!(sf.memory_constrained());
+        // Earlier generations were not.
+        let il = t.iter().find(|p| p.name == "IceLake-SP").unwrap();
+        assert!(!il.memory_constrained());
+    }
+
+    #[test]
+    fn vcpu_growth_is_monotone() {
+        let t = processor_series();
+        for w in t.windows(2) {
+            assert!(w[1].max_vcpus_per_server >= w[0].max_vcpus_per_server);
+        }
+    }
+}

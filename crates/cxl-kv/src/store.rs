@@ -1,0 +1,888 @@
+//! The simulated KeyDB store and its YCSB run loop.
+
+use serde::{Deserialize, Serialize};
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use cxl_perf::{calib, MemSystem};
+
+/// Extra software latency per operation when FLASH mode is on: KeyDB
+/// routes reads through the RocksDB memtable/block-cache path even for
+/// memory-resident values.
+const FLASH_READPATH_NS: f64 = 1_500.0;
+
+/// Extra cost of a FLASH miss beyond the raw SSD read: RocksDB index /
+/// filter block lookups and read amplification.
+const ROCKSDB_MISS_NS: f64 = 30_000.0;
+use cxl_sim::{MultiServer, SimTime};
+use cxl_stats::Histogram;
+use cxl_tier::{Location, PageId, Rw, TierConfig, TierManager, TierStats};
+use cxl_topology::Topology;
+use cxl_ycsb::{Generator, GeneratorConfig, Op, Workload};
+
+/// CPU/memory cost profile of one KeyDB operation.
+///
+/// The paper's two KeyDB experiments sit in different locality regimes:
+/// the 512 GB capacity runs (§4.1, Fig. 5) take a TLB/page-walk miss on
+/// nearly every access, so each op performs many dependent memory
+/// accesses and interleaving onto CXL costs 1.2–1.5×; the 100 GB
+/// vCPU-ratio run (§4.3, Fig. 8) is lighter, and running fully on CXL
+/// costs only ~12.5 % of throughput. Both regimes are expressed as
+/// profiles instead of hidden constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemProfile {
+    /// Pure CPU time per operation, ns (parsing, dispatch, networking).
+    pub cpu_ns_per_op: f64,
+    /// Dependent memory accesses per operation (dict walk, value chase,
+    /// page-table walks).
+    pub mem_chases: u32,
+}
+
+impl MemProfile {
+    /// The 512 GB capacity-experiment regime (§4.1).
+    pub fn capacity_strained() -> Self {
+        Self {
+            cpu_ns_per_op: 3_000.0,
+            mem_chases: 24,
+        }
+    }
+
+    /// The 100 GB elastic-compute regime (§4.3).
+    pub fn standard() -> Self {
+        Self {
+            cpu_ns_per_op: 5_000.0,
+            mem_chases: 5,
+        }
+    }
+}
+
+/// `maxmemory` eviction policy for FLASH mode, mirroring Redis's
+/// `maxmemory-policy` choices at page granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// CLOCK second chance — approximates `allkeys-lru` (the default).
+    Clock,
+    /// Uniform random resident page — `allkeys-random`.
+    Random,
+    /// Least-frequently-used among a small random sample, with periodic
+    /// counter decay — `allkeys-lfu`.
+    Lfu,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KvConfig {
+    /// Pre-loaded record count.
+    pub record_count: u64,
+    /// Value size in bytes (1 KiB default, the YCSB default in §4.1.1).
+    pub value_size: u64,
+    /// KeyDB server threads (7 in the paper).
+    pub server_threads: usize,
+    /// Closed-loop client concurrency.
+    pub client_concurrency: usize,
+    /// Cost profile.
+    pub profile: MemProfile,
+    /// Refresh contention-priced latencies every this many operations.
+    pub epoch_ops: u64,
+    /// FLASH-mode eviction policy.
+    pub eviction: EvictionPolicy,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        Self {
+            record_count: 100_000,
+            value_size: 1024,
+            server_threads: 7,
+            client_concurrency: 28,
+            profile: MemProfile::capacity_strained(),
+            epoch_ops: 2_000,
+            eviction: EvictionPolicy::Clock,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one workload run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Completed operations.
+    pub ops: u64,
+    /// Virtual wall time of the run.
+    pub duration: SimTime,
+    /// Operations per second.
+    pub throughput_ops: f64,
+    /// Sojourn (client-observed) latency histogram, ns, all ops.
+    pub latency: Histogram,
+    /// Sojourn latency histogram for reads only (Fig. 8(a) CDF).
+    pub read_latency: Histogram,
+    /// Operations that had to fetch from SSD.
+    pub ssd_hits: u64,
+    /// Tier-manager statistics at the end of the run.
+    pub tier_stats: TierStats,
+}
+
+impl RunResult {
+    /// Throughput in thousands of ops/s (the unit of Fig. 5(a)).
+    pub fn kops(&self) -> f64 {
+        self.throughput_ops / 1e3
+    }
+}
+
+/// The simulated store.
+pub struct KvStore {
+    sys: MemSystem,
+    tm: TierManager,
+    cfg: KvConfig,
+    /// Page directory: data page index -> allocated page id.
+    pages: Vec<PageId>,
+    /// Per-node average access latency, ns, refreshed every epoch.
+    lat_ns: Vec<f64>,
+    /// CLOCK ring of memory-resident pages for `maxmemory` eviction.
+    ring: VecDeque<PageId>,
+    referenced: HashSet<PageId>,
+    flash: bool,
+    now: SimTime,
+    epoch_start: SimTime,
+    runs: u64,
+    /// Deterministic sampler for Random/LFU eviction.
+    evict_rng: rand::rngs::SmallRng,
+    /// Page access frequencies for LFU (decayed periodically).
+    freq: std::collections::HashMap<PageId, u32>,
+    ops_since_decay: u64,
+}
+
+impl KvStore {
+    /// Builds the store and loads `record_count` values through the
+    /// placement policy.
+    ///
+    /// `flash` enables KeyDB-FLASH semantics: pages that do not fit in
+    /// the (possibly `maxmemory`-limited) nodes spill to SSD, and SSD
+    /// pages are cached back in memory on access with CLOCK eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset cannot be placed (no SSD and nodes too
+    /// small).
+    pub fn new(topo: &Topology, mut tier_cfg: TierConfig, cfg: KvConfig, flash: bool) -> Self {
+        tier_cfg.allow_ssd_spill = flash;
+        let sys = MemSystem::new(topo);
+        let mut tm = TierManager::new(topo, tier_cfg);
+        let total_bytes = cfg.record_count * cfg.value_size;
+        let n_pages = total_bytes.div_ceil(tm.page_size());
+        let pages = tm
+            .alloc_n(n_pages, SimTime::ZERO)
+            .expect("dataset does not fit; enable flash or enlarge nodes");
+        let mut ring = VecDeque::new();
+        for &p in &pages {
+            if !tm.location(p).is_ssd() {
+                ring.push_back(p);
+            }
+        }
+        let lat_ns = Self::idle_latency_table(&sys, &tm);
+        let cfg_seed = cfg.seed;
+        let mut store = Self {
+            sys,
+            tm,
+            cfg,
+            pages,
+            lat_ns,
+            ring,
+            referenced: HashSet::new(),
+            flash,
+            now: SimTime::ZERO,
+            epoch_start: SimTime::ZERO,
+            runs: 0,
+            evict_rng: {
+                use rand::SeedableRng;
+                rand::rngs::SmallRng::seed_from_u64(cxl_stats::rng::derive_seed(cfg_seed, "evict"))
+            },
+            freq: std::collections::HashMap::new(),
+            ops_since_decay: 0,
+        };
+        store.tm.drain_epoch(); // Discard load-phase traffic.
+        store
+    }
+
+    fn idle_latency_table(sys: &MemSystem, tm: &TierManager) -> Vec<f64> {
+        let _ = tm;
+        sys.nodes()
+            .iter()
+            .map(|n| sys.idle_latency_ns(sys.sockets()[0], n.id, cxl_perf::AccessMix::read_only()))
+            .collect()
+    }
+
+    /// The tier manager (for inspection in tests and reports).
+    pub fn tier(&self) -> &TierManager {
+        &self.tm
+    }
+
+    /// Current page residency distribution.
+    pub fn residency(&self) -> Vec<(Location, u64)> {
+        self.tm.residency()
+    }
+
+    fn page_index_of_key(&self, key: u64) -> usize {
+        ((key * self.cfg.value_size) / self.tm.page_size()) as usize
+    }
+
+    /// Ensures the page directory covers `index` (workload D growth).
+    fn ensure_page(&mut self, index: usize) {
+        while self.pages.len() <= index {
+            let p = self
+                .tm
+                .alloc(self.now)
+                .expect("insert failed: out of memory without flash");
+            if !self.tm.location(p).is_ssd() {
+                self.ring.push_back(p);
+            }
+            self.pages.push(p);
+        }
+    }
+
+    /// Picks an eviction victim from the resident ring per the policy.
+    /// Returns `None` when no resident page can be found.
+    fn pick_victim(&mut self) -> Option<PageId> {
+        use rand::Rng;
+        match self.cfg.eviction {
+            EvictionPolicy::Clock => {
+                let mut guard = self.ring.len();
+                while guard > 0 {
+                    guard -= 1;
+                    let victim = self.ring.pop_front()?;
+                    if self.tm.location(victim).is_ssd() {
+                        continue; // Stale entry.
+                    }
+                    if self.referenced.remove(&victim) {
+                        self.ring.push_back(victim);
+                        continue;
+                    }
+                    return Some(victim);
+                }
+                // Everything referenced: take the next resident page.
+                while let Some(victim) = self.ring.pop_front() {
+                    if !self.tm.location(victim).is_ssd() {
+                        self.referenced.remove(&victim);
+                        return Some(victim);
+                    }
+                }
+                None
+            }
+            EvictionPolicy::Random => {
+                let mut guard = self.ring.len().max(8) * 2;
+                while guard > 0 && !self.ring.is_empty() {
+                    guard -= 1;
+                    let idx = self.evict_rng.gen_range(0..self.ring.len());
+                    self.ring.swap(idx, 0);
+                    let victim = self.ring.pop_front()?;
+                    if self.tm.location(victim).is_ssd() {
+                        continue;
+                    }
+                    self.referenced.remove(&victim);
+                    return Some(victim);
+                }
+                None
+            }
+            EvictionPolicy::Lfu => {
+                // Redis-style: sample a few candidates, evict the
+                // least-frequently-used resident one.
+                const SAMPLE: usize = 5;
+                let mut guard = 16;
+                while guard > 0 && !self.ring.is_empty() {
+                    guard -= 1;
+                    let mut best: Option<(usize, u32)> = None;
+                    for _ in 0..SAMPLE.min(self.ring.len()) {
+                        let idx = self.evict_rng.gen_range(0..self.ring.len());
+                        let page = self.ring[idx];
+                        if self.tm.location(page).is_ssd() {
+                            continue;
+                        }
+                        let f = self.freq.get(&page).copied().unwrap_or(0);
+                        if best.is_none() || f < best.unwrap().1 {
+                            best = Some((idx, f));
+                        }
+                    }
+                    if let Some((idx, _)) = best {
+                        self.ring.swap(idx, 0);
+                        let victim = self.ring.pop_front()?;
+                        self.referenced.remove(&victim);
+                        self.freq.remove(&victim);
+                        return Some(victim);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Caches an SSD page into memory, evicting policy-chosen pages as
+    /// needed. Returns the number of evictions performed.
+    fn cache_in(&mut self, page: PageId) -> u64 {
+        let mut evictions = 0;
+        loop {
+            match self.tm.load_from_ssd(page, self.now) {
+                Ok(()) => {
+                    self.ring.push_back(page);
+                    self.referenced.insert(page);
+                    return evictions;
+                }
+                Err(_) => {
+                    let victim = self.pick_victim().expect("cache_in could not make room");
+                    self.tm.evict_to_ssd(victim);
+                    evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Prices a single-page access: touch, fault costs, SSD caching.
+    /// Returns `(service_ns, hit_ssd)` for that page.
+    fn access_page(&mut self, idx: usize, rw: Rw, chases: f64, bytes: u64) -> (f64, bool) {
+        let page = self.pages[idx];
+        let outcome = self.tm.touch(page, rw, bytes, self.now);
+        self.referenced.insert(page);
+        if self.cfg.eviction == EvictionPolicy::Lfu && self.flash {
+            *self.freq.entry(page).or_insert(0) += 1;
+            self.ops_since_decay += 1;
+            // Periodic halving keeps counters adaptive (Redis LFU decay).
+            if self.ops_since_decay >= 100_000 {
+                self.ops_since_decay = 0;
+                for f in self.freq.values_mut() {
+                    *f /= 2;
+                }
+            }
+        }
+        let mut ns = outcome.fault_cost.as_ns() as f64;
+        let mut hit_ssd = false;
+        match outcome.location {
+            Location::Node(node) => {
+                ns += chases * self.lat_ns[node.0];
+            }
+            Location::Ssd => {
+                hit_ssd = true;
+                ns += calib::SSD_READ_LATENCY_NS + ROCKSDB_MISS_NS;
+                if self.flash {
+                    let evictions = self.cache_in(page);
+                    // Dirty evictions add a write-back (charged as SSD
+                    // bandwidth, asynchronous to the op).
+                    let _ = evictions;
+                }
+                // Re-price the chases at the page's new home.
+                if let Location::Node(node) = self.tm.location(page) {
+                    ns += chases * self.lat_ns[node.0];
+                }
+            }
+        }
+        (ns, hit_ssd)
+    }
+
+    /// Prices one operation at the current epoch latencies and advances
+    /// tiering state. Returns `(service_ns, hit_ssd)`.
+    fn service_op(&mut self, op: Op) -> (f64, bool) {
+        let key = op.key();
+        let idx = self.page_index_of_key(key);
+        if matches!(op, Op::Insert(_)) {
+            self.ensure_page(idx);
+        }
+
+        let mut ns = self.cfg.profile.cpu_ns_per_op;
+        if self.flash {
+            ns += FLASH_READPATH_NS;
+        }
+        let chases = self.cfg.profile.mem_chases as f64;
+        let mut hit_ssd = false;
+
+        match op {
+            Op::Read(_) | Op::Update(_) | Op::Insert(_) => {
+                let rw = if op.is_write() { Rw::Write } else { Rw::Read };
+                let (a, h) = self.access_page(idx, rw, chases, self.cfg.value_size);
+                ns += a;
+                hit_ssd |= h;
+            }
+            Op::ReadModifyWrite(_) => {
+                // Read, then write the same record: the read pays the
+                // full chase chain, the write-back a short one.
+                let (a, h) = self.access_page(idx, Rw::Read, chases, self.cfg.value_size);
+                let (b, h2) = self.access_page(idx, Rw::Write, 2.0, self.cfg.value_size);
+                ns += a + b;
+                hit_ssd |= h | h2;
+            }
+            Op::Scan { start, len } => {
+                // Sequential range: full chase chain on the first page,
+                // streaming cost (two dependent accesses) per page after.
+                let last_key = start + len as u64 - 1;
+                let first = self.page_index_of_key(start);
+                let last = self.page_index_of_key(last_key).min(self.pages.len() - 1);
+                for (i, pg) in (first..=last).enumerate() {
+                    let c = if i == 0 { chases } else { 2.0 };
+                    let (a, h) = self.access_page(pg, Rw::Read, c, self.cfg.value_size);
+                    ns += a;
+                    hit_ssd |= h;
+                }
+            }
+        }
+        (ns, hit_ssd)
+    }
+
+    /// Refreshes the per-node latency table from the traffic of the
+    /// closing epoch and runs tier-manager periodic work.
+    fn refresh_epoch(&mut self) {
+        let dur = self.now.saturating_sub(self.epoch_start);
+        let epoch = self.tm.drain_epoch();
+        if dur > SimTime::ZERO {
+            // KeyDB stores are regular (allocating) writes, not NT streams.
+            let flows = epoch.flows(self.sys.sockets()[0], dur, false);
+            if !flows.is_empty() {
+                let res = self.sys.solve(&flows);
+                for (f, o) in flows.iter().zip(res.flows.iter()) {
+                    self.lat_ns[f.node.0] = o.latency_ns;
+                }
+            }
+        }
+        self.tm.tick(self.now);
+        self.epoch_start = self.now;
+    }
+
+    /// Runs an **open-loop** YCSB load: operations arrive at
+    /// `rate_ops_per_sec` with exponential inter-arrival times and queue
+    /// at the server threads regardless of completion — the setup for
+    /// latency-vs-offered-load (SLO) analysis. Contrast with [`run`],
+    /// whose closed-loop clients self-limit at saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    ///
+    /// [`run`]: KvStore::run
+    pub fn run_open_loop(
+        &mut self,
+        workload: Workload,
+        rate_ops_per_sec: f64,
+        ops: u64,
+    ) -> RunResult {
+        assert!(
+            rate_ops_per_sec > 0.0 && rate_ops_per_sec.is_finite(),
+            "invalid arrival rate {rate_ops_per_sec}"
+        );
+        let run_seed =
+            cxl_stats::rng::derive_seed(self.cfg.seed, &format!("openloop.{}", self.runs));
+        self.runs += 1;
+        let gen_cfg = GeneratorConfig {
+            record_count: self.cfg.record_count,
+            value_size: self.cfg.value_size,
+            seed: run_seed,
+        };
+        let mut generator = Generator::new(workload, gen_cfg);
+        let mut arrival_rng = cxl_stats::rng::stream_rng(run_seed, "arrivals");
+        let interarrival = cxl_stats::Exponential::new(rate_ops_per_sec);
+        let mut servers = MultiServer::new(self.cfg.server_threads);
+        let mut latency = Histogram::new();
+        let mut read_latency = Histogram::new();
+        let mut ssd_hits = 0u64;
+        let start = self.now;
+        let mut arrival_s = start.as_secs_f64();
+
+        for i in 0..ops {
+            let op = generator.next_op();
+            arrival_s += interarrival.sample(&mut arrival_rng);
+            let arrival = SimTime::from_secs_f64(arrival_s);
+            self.now = arrival;
+            let (service_ns, hit_ssd) = self.service_op(op);
+            let completion = servers.submit(arrival, SimTime::from_ns_f64(service_ns));
+            let sojourn = completion.sojourn(arrival).as_ns();
+            latency.record(sojourn);
+            if !op.is_write() {
+                read_latency.record(sojourn);
+            }
+            if hit_ssd {
+                ssd_hits += 1;
+            }
+            if (i + 1) % self.cfg.epoch_ops == 0 {
+                self.now = completion.finish.max(arrival);
+                self.refresh_epoch();
+            }
+        }
+
+        self.now = servers.makespan().max(self.now);
+        self.refresh_epoch();
+        let duration = self.now.saturating_sub(start);
+        let throughput = if duration > SimTime::ZERO {
+            ops as f64 / duration.as_secs_f64()
+        } else {
+            0.0
+        };
+        RunResult {
+            ops,
+            duration,
+            throughput_ops: throughput,
+            latency,
+            read_latency,
+            ssd_hits,
+            tier_stats: self.tm.stats().clone(),
+        }
+    }
+
+    /// Runs `ops` operations of a YCSB workload against the store.
+    ///
+    /// Each call draws a fresh (deterministic) operation stream: repeated
+    /// runs on one store continue the workload rather than replaying the
+    /// identical trace, so warm-up runs do not pre-answer the measured
+    /// run's exact key sequence.
+    pub fn run(&mut self, workload: Workload, ops: u64) -> RunResult {
+        let run_seed = cxl_stats::rng::derive_seed(self.cfg.seed, &format!("run.{}", self.runs));
+        self.runs += 1;
+        let gen_cfg = GeneratorConfig {
+            record_count: self.cfg.record_count,
+            value_size: self.cfg.value_size,
+            seed: run_seed,
+        };
+        let mut generator = Generator::new(workload, gen_cfg);
+        let mut servers = MultiServer::new(self.cfg.server_threads);
+        let mut clients: Vec<SimTime> = vec![SimTime::ZERO; self.cfg.client_concurrency];
+        let mut latency = Histogram::new();
+        let mut read_latency = Histogram::new();
+        let mut ssd_hits = 0u64;
+        let start = self.now;
+
+        for i in 0..ops {
+            let op = generator.next_op();
+            let client = (i as usize) % clients.len();
+            let arrival = clients[client].max(start);
+            self.now = arrival;
+            let (service_ns, hit_ssd) = self.service_op(op);
+            let completion = servers.submit(arrival, SimTime::from_ns_f64(service_ns));
+            clients[client] = completion.finish;
+            let sojourn = completion.sojourn(arrival).as_ns();
+            latency.record(sojourn);
+            if !op.is_write() {
+                read_latency.record(sojourn);
+            }
+            if hit_ssd {
+                ssd_hits += 1;
+            }
+            if (i + 1) % self.cfg.epoch_ops == 0 {
+                self.now = completion.finish;
+                self.refresh_epoch();
+            }
+        }
+
+        self.now = servers.makespan().max(self.now);
+        self.refresh_epoch();
+        let duration = self.now.saturating_sub(start);
+        let throughput = if duration > SimTime::ZERO {
+            ops as f64 / duration.as_secs_f64()
+        } else {
+            0.0
+        };
+        RunResult {
+            ops,
+            duration,
+            throughput_ops: throughput,
+            latency,
+            read_latency,
+            ssd_hits,
+            tier_stats: self.tm.stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_tier::{AllocPolicy, HotPageConfig, MigrationMode, NumaBalancingConfig};
+    use cxl_topology::{NodeId, SncMode, Topology};
+
+    // SNC disabled: node 0,1 = DRAM; 2,3 = CXL (both on socket 0).
+    const DRAM0: NodeId = NodeId(0);
+    const CXL0: NodeId = NodeId(2);
+
+    fn topo() -> Topology {
+        Topology::paper_testbed(SncMode::Disabled)
+    }
+
+    fn kv_cfg() -> KvConfig {
+        KvConfig {
+            record_count: 50_000,
+            ..Default::default()
+        }
+    }
+
+    fn mmem_store() -> KvStore {
+        KvStore::new(&topo(), TierConfig::bind(vec![DRAM0]), kv_cfg(), false)
+    }
+
+    fn interleaved_store(n: u32, m: u32) -> KvStore {
+        let mut tc = TierConfig::bind(vec![DRAM0]);
+        tc.policy = AllocPolicy::interleave(vec![DRAM0], vec![CXL0], n, m);
+        KvStore::new(&topo(), tc, kv_cfg(), false)
+    }
+
+    fn ssd_store(mem_fraction: f64) -> KvStore {
+        let cfg = kv_cfg();
+        let bytes = (cfg.record_count * cfg.value_size) as f64;
+        let mut tc = TierConfig::bind(vec![DRAM0]);
+        tc.capacity_override = vec![
+            (DRAM0, (bytes * mem_fraction) as u64),
+            (NodeId(1), 0),
+            (CXL0, 0),
+            (NodeId(3), 0),
+        ];
+        KvStore::new(&topo(), tc, cfg, true)
+    }
+
+    const OPS: u64 = 60_000;
+
+    #[test]
+    fn mmem_beats_interleave_beats_ssd() {
+        let t_mmem = mmem_store().run(Workload::C, OPS).throughput_ops;
+        let t_il = interleaved_store(1, 1).run(Workload::C, OPS).throughput_ops;
+        let t_ssd = ssd_store(0.6).run(Workload::C, OPS).throughput_ops;
+        assert!(t_mmem > t_il, "MMEM {t_mmem} vs 1:1 {t_il}");
+        assert!(t_il > t_ssd, "1:1 {t_il} vs SSD {t_ssd}");
+    }
+
+    #[test]
+    fn interleave_slowdown_in_papers_band() {
+        // §4.1.2: interleaving costs 1.2–1.5x vs pure MMEM.
+        let t_mmem = mmem_store().run(Workload::C, OPS).throughput_ops;
+        for (n, m) in [(3u32, 1u32), (1, 1), (1, 3)] {
+            let t = interleaved_store(n, m).run(Workload::C, OPS).throughput_ops;
+            let slow = t_mmem / t;
+            assert!((1.10..=1.60).contains(&slow), "{n}:{m} slowdown {slow}");
+        }
+    }
+
+    #[test]
+    fn more_cxl_means_slower() {
+        let t31 = interleaved_store(3, 1).run(Workload::C, OPS).throughput_ops;
+        let t11 = interleaved_store(1, 1).run(Workload::C, OPS).throughput_ops;
+        let t13 = interleaved_store(1, 3).run(Workload::C, OPS).throughput_ops;
+        assert!(t31 > t11, "3:1 {t31} vs 1:1 {t11}");
+        assert!(t11 > t13, "1:1 {t11} vs 1:3 {t13}");
+    }
+
+    #[test]
+    fn ssd_spill_hits_ssd_but_zipfian_mostly_cached() {
+        let mut s = ssd_store(0.8);
+        let r = s.run(Workload::C, OPS);
+        assert!(r.ssd_hits > 0, "no SSD hits despite 20 % spill");
+        let hit_rate = r.ssd_hits as f64 / r.ops as f64;
+        assert!(hit_rate < 0.25, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn ssd_40_slower_than_ssd_20() {
+        let t20 = ssd_store(0.8).run(Workload::C, OPS).throughput_ops;
+        let t40 = ssd_store(0.6).run(Workload::C, OPS).throughput_ops;
+        assert!(t20 > t40, "SSD-0.2 {t20} vs SSD-0.4 {t40}");
+    }
+
+    fn hot_promote_store() -> KvStore {
+        let cfg = kv_cfg();
+        let bytes = cfg.record_count * cfg.value_size;
+        let mut tc = TierConfig::bind(vec![DRAM0]);
+        tc.policy = AllocPolicy::interleave(vec![DRAM0], vec![CXL0], 1, 1);
+        // Main memory limited to half the dataset (§4.1.1).
+        tc.capacity_override = vec![(DRAM0, bytes / 2), (NodeId(1), 0), (NodeId(3), 0)];
+        tc.migration = MigrationMode::HotPageSelection(HotPageConfig {
+            balancing: NumaBalancingConfig {
+                scan_period: SimTime::from_ms(5),
+                scan_pages: 4096,
+                hot_threshold: SimTime::from_ms(100),
+                // Amortized per-faulting-access cost: most accesses check
+                // the hint without the full fault path.
+                hint_fault_cost: SimTime::from_ns(300),
+            },
+            promote_rate_limit_bytes_per_sec: 4e9,
+            dynamic_threshold: false,
+            adjust_period: SimTime::from_ms(100),
+        });
+        KvStore::new(&topo(), tc, cfg, false)
+    }
+
+    #[test]
+    fn hot_promote_recovers_most_of_mmem_performance() {
+        // §4.1.2: Hot-Promote "performs nearly as well as running the
+        // workload entirely on MMEM" thanks to the Zipfian hot set.
+        let t_mmem = mmem_store().run(Workload::C, 150_000).throughput_ops;
+        let mut hp = hot_promote_store();
+        // Warm-up run lets the hot set migrate.
+        hp.run(Workload::C, 150_000);
+        let t_hp = hp.run(Workload::C, 150_000).throughput_ops;
+        let t_il = interleaved_store(1, 1)
+            .run(Workload::C, 150_000)
+            .throughput_ops;
+        assert!(t_hp > t_il, "hot-promote {t_hp} vs interleave {t_il}");
+        assert!(
+            t_hp > 0.85 * t_mmem,
+            "hot-promote {t_hp} below 85 % of MMEM {t_mmem}"
+        );
+        assert!(hp.tier().stats().promotions > 0);
+    }
+
+    #[test]
+    fn cxl_only_penalty_matches_section_4_3() {
+        // §4.3.2: ~12.5 % lower throughput, 9–27 % read latency penalty.
+        let cfg = KvConfig {
+            record_count: 50_000,
+            profile: MemProfile::standard(),
+            ..Default::default()
+        };
+        let mut mmem = KvStore::new(&topo(), TierConfig::bind(vec![DRAM0]), cfg.clone(), false);
+        let mut cxl = KvStore::new(&topo(), TierConfig::bind(vec![CXL0]), cfg, false);
+        let rm = mmem.run(Workload::C, OPS);
+        let rc = cxl.run(Workload::C, OPS);
+        let tp_loss = 1.0 - rc.throughput_ops / rm.throughput_ops;
+        assert!(
+            (0.08..=0.20).contains(&tp_loss),
+            "throughput loss {tp_loss}"
+        );
+        let p50m = rm.read_latency.percentile(50.0) as f64;
+        let p50c = rc.read_latency.percentile(50.0) as f64;
+        let lat_penalty = p50c / p50m - 1.0;
+        assert!(
+            (0.05..=0.30).contains(&lat_penalty),
+            "latency penalty {lat_penalty}"
+        );
+    }
+
+    #[test]
+    fn workload_d_grows_the_dataset() {
+        let mut s = mmem_store();
+        let pages_before = s.pages.len();
+        s.run(Workload::D, OPS);
+        assert!(s.pages.len() > pages_before);
+    }
+
+    #[test]
+    fn workload_e_scans_run_and_cost_more_than_reads() {
+        let mut s1 = mmem_store();
+        let re = s1.run(Workload::E, 30_000);
+        let mut s2 = mmem_store();
+        let rc = s2.run(Workload::C, 30_000);
+        assert_eq!(re.ops, 30_000);
+        // Scans touch many pages: mean latency clearly above point reads.
+        assert!(
+            re.latency.mean() > 1.25 * rc.latency.mean(),
+            "E {} vs C {}",
+            re.latency.mean(),
+            rc.latency.mean()
+        );
+    }
+
+    #[test]
+    fn workload_f_read_modify_writes_register_as_writes() {
+        let mut sf = mmem_store();
+        let rf = sf.run(Workload::F, 30_000);
+        let mut sc = mmem_store();
+        let rc = sc.run(Workload::C, 30_000);
+        // The RMW write-back adds a small service cost; throughputs stay
+        // within a few percent, with F no faster than C's regime.
+        assert!(rf.throughput_ops < rc.throughput_ops * 1.02);
+        assert!(rf.throughput_ops > 0.8 * rc.throughput_ops);
+        // Half of F's ops are writes, so its read histogram holds ~50 %.
+        let read_frac = rf.read_latency.count() as f64 / rf.latency.count() as f64;
+        assert!((read_frac - 0.5).abs() < 0.05, "read fraction {read_frac}");
+    }
+
+    #[test]
+    fn open_loop_latency_grows_with_offered_rate() {
+        let mut s1 = mmem_store();
+        let light = s1.run_open_loop(Workload::C, 100_000.0, 30_000);
+        let mut s2 = mmem_store();
+        let heavy = s2.run_open_loop(Workload::C, 1_200_000.0, 30_000);
+        // Light load: sojourn ~ service time. Heavy (near capacity):
+        // queueing inflates the tail sharply.
+        assert!(
+            heavy.latency.percentile(99.0) > 2 * light.latency.percentile(99.0),
+            "light p99 {} heavy p99 {}",
+            light.latency.percentile(99.0),
+            heavy.latency.percentile(99.0)
+        );
+        // Delivered throughput tracks the offered rate under light load.
+        assert!((light.throughput_ops - 100_000.0).abs() / 100_000.0 < 0.05);
+    }
+
+    #[test]
+    fn open_loop_is_deterministic() {
+        let a = mmem_store().run_open_loop(Workload::B, 200_000.0, 10_000);
+        let b = mmem_store().run_open_loop(Workload::B, 200_000.0, 10_000);
+        assert_eq!(a.latency.percentile(99.0), b.latency.percentile(99.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid arrival rate")]
+    fn open_loop_rejects_bad_rate() {
+        mmem_store().run_open_loop(Workload::C, 0.0, 10);
+    }
+
+    fn ssd_store_with_policy(policy: EvictionPolicy) -> KvStore {
+        let cfg = KvConfig {
+            record_count: 50_000,
+            eviction: policy,
+            ..Default::default()
+        };
+        let bytes = cfg.record_count * cfg.value_size;
+        let mut tc = TierConfig::bind(vec![DRAM0]);
+        tc.capacity_override = vec![
+            (DRAM0, (bytes as f64 * 0.6) as u64),
+            (NodeId(1), 0),
+            (CXL0, 0),
+            (NodeId(3), 0),
+        ];
+        KvStore::new(&topo(), tc, cfg, true)
+    }
+
+    #[test]
+    fn recency_aware_eviction_beats_random_on_zipfian() {
+        // allkeys-lru-style CLOCK keeps the Zipfian hot set resident;
+        // random eviction throws warm pages out.
+        let runs = |p: EvictionPolicy| {
+            let mut s = ssd_store_with_policy(p);
+            s.run(Workload::C, 60_000);
+            let r = s.run(Workload::C, 60_000);
+            (r.throughput_ops, r.ssd_hits)
+        };
+        let (t_clock, h_clock) = runs(EvictionPolicy::Clock);
+        let (t_rand, h_rand) = runs(EvictionPolicy::Random);
+        assert!(
+            h_rand > h_clock,
+            "random hits {h_rand} <= clock hits {h_clock}"
+        );
+        assert!(t_clock > t_rand, "clock {t_clock} vs random {t_rand}");
+    }
+
+    #[test]
+    fn lfu_competes_with_clock_on_skewed_keys() {
+        let runs = |p: EvictionPolicy| {
+            let mut s = ssd_store_with_policy(p);
+            s.run(Workload::C, 60_000);
+            s.run(Workload::C, 60_000).throughput_ops
+        };
+        let t_clock = runs(EvictionPolicy::Clock);
+        let t_lfu = runs(EvictionPolicy::Lfu);
+        // LFU should land in the same class as CLOCK (within 15 %).
+        assert!(t_lfu > 0.85 * t_clock, "lfu {t_lfu} vs clock {t_clock}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = mmem_store().run(Workload::A, 20_000);
+        let b = mmem_store().run(Workload::A, 20_000);
+        assert_eq!(a.throughput_ops, b.throughput_ops);
+        assert_eq!(a.latency.percentile(99.0), b.latency.percentile(99.0));
+    }
+
+    #[test]
+    fn update_heavy_tail_above_read_only_tail() {
+        let ra = mmem_store().run(Workload::A, OPS);
+        let rc = mmem_store().run(Workload::C, OPS);
+        // Same service structure, but A's histogram must include writes.
+        assert!(ra.latency.count() == OPS && rc.latency.count() == OPS);
+        assert!(ra.read_latency.count() < ra.latency.count());
+        assert_eq!(rc.read_latency.count(), rc.latency.count());
+    }
+}

@@ -1,0 +1,123 @@
+//! Calibration constants, each traced to a measurement in §3 of the paper.
+
+/// Idle load-to-use latency of socket-local DDR reads (ns). §3.2: "an
+/// initial memory latency of about 97 ns".
+pub const MMEM_READ_IDLE_NS: f64 = 97.0;
+
+/// Idle latency of a non-temporal (posted) write, ns. §3.2 reports
+/// 71.77 ns for remote write-only; posted writes complete at the write
+/// buffer, so distance adds almost nothing. Local NT writes retire
+/// slightly faster.
+pub const NT_WRITE_IDLE_LOCAL_NS: f64 = 69.0;
+
+/// Idle latency of a remote-socket NT write, ns (§3.2: 71.77 ns).
+pub const NT_WRITE_IDLE_REMOTE_NS: f64 = 71.77;
+
+/// One-way UPI hop latency added to remote reads, ns. §3.2: remote reads
+/// idle at ~130 ns versus 97 ns local.
+pub const UPI_HOP_NS: f64 = 33.0;
+
+/// Fraction of theoretical DDR bandwidth achievable for pure reads.
+/// §3.2: read-only peaks at ~67 GB/s, "87 % of its theoretical maximum"
+/// (76.8 GB/s for the 2-channel SNC domain).
+pub const DDR_READ_EFFICIENCY: f64 = 0.87;
+
+/// Fraction achievable for pure NT writes. §3.2: write-only drops to
+/// 54.6 GB/s, i.e. 71.1 % of 76.8 GB/s.
+pub const DDR_WRITE_EFFICIENCY: f64 = 0.711;
+
+/// Utilization knee for a read-only stream on local DDR. §3.2: latency
+/// "starts to significantly increase at 75 %–83 % of bandwidth
+/// utilization".
+pub const DDR_KNEE_READ: f64 = 0.80;
+
+/// Knee for a write-only stream. §3.3: "the latency-bandwidth knee-point
+/// shifts to the left as the proportion of write operations increases".
+pub const DDR_KNEE_WRITE: f64 = 0.62;
+
+/// Queueing-delay scale for DDR memory controllers, ns. Sets how fast
+/// latency blows up past the knee; Fig. 3 shows saturation latencies of
+/// several hundred ns.
+pub const DDR_QUEUE_SCALE_NS: f64 = 55.0;
+
+/// Gentle pre-knee latency growth, ns at full utilization.
+pub const DDR_LINEAR_NS: f64 = 18.0;
+
+/// UPI per-direction bandwidth between the two sockets, GB/s. Two SPR
+/// UPI 2.0 links; sized so remote read-only bandwidth stays comparable
+/// to local (§3.2).
+pub const UPI_DIR_BW_GBPS: f64 = 68.0;
+
+/// Extra UPI bytes moved per payload byte written remotely with regular
+/// (allocating) stores — ownership reads plus writeback.
+pub const UPI_COHERENCE_OVERHEAD: f64 = 0.6;
+
+/// Extra UPI bytes per NT-written byte (invalidation-only traffic). §3.2:
+/// "the write-only workload generates minimal UPI traffic".
+pub const UPI_NT_COHERENCE_OVERHEAD: f64 = 0.12;
+
+/// Posted-write credit limit across UPI, GB/s of write payload. Models
+/// the §3.2 finding that remote write-heavy mixes achieve the lowest
+/// bandwidth despite low UPI utilization (single-direction usage plus
+/// bounded posted-write credits).
+pub const UPI_WRITE_CREDIT_GBPS: f64 = 20.0;
+
+/// Knee for UPI resources. §3.2: "latency escalation occurs earlier in
+/// remote socket memory accesses".
+pub const UPI_KNEE: f64 = 0.70;
+
+/// Queueing scale for UPI, ns.
+pub const UPI_QUEUE_SCALE_NS: f64 = 80.0;
+
+/// Idle latency of a local CXL read, ns. §3.2: "a minimum latency of
+/// 250.42 ns".
+pub const CXL_READ_IDLE_NS: f64 = 250.42;
+
+/// Idle latency of an NT write to local CXL, ns. CXL.mem writes are
+/// posted at the host bridge; slightly above DDR NT writes.
+pub const CXL_NT_WRITE_IDLE_NS: f64 = 85.0;
+
+/// Idle latency of a remote-socket CXL read, ns. §3.2: "an exceptionally
+/// high idle latency of 485 ns".
+pub const CXL_REMOTE_READ_IDLE_NS: f64 = 485.0;
+
+/// Scheduling efficiency of the CXL controller's internal DDR scheduler
+/// relative to the host IMC. Chosen so the best-case mixed bandwidth of
+/// the A1000 lands at the measured 56.7 GB/s (§3.2).
+pub const CXL_BACKING_EFFICIENCY: f64 = 0.915;
+
+/// Cap on CXL write payload imposed by CXL.mem message/credit overheads,
+/// as a fraction of the effective link bandwidth.
+pub const CXL_WRITE_MSG_FRACTION: f64 = 0.75;
+
+/// Knee for the PCIe/CXL link direction resources.
+pub const CXL_LINK_KNEE: f64 = 0.75;
+
+/// Queueing scale for CXL link and controller, ns. Fig. 3(c): CXL
+/// latency "remains relatively stable as bandwidth increases" — flatter
+/// than DDR because the link, not the DRAM queue, binds first.
+pub const CXL_QUEUE_SCALE_NS: f64 = 45.0;
+
+/// Total remote-CXL bandwidth permitted by the Remote Snoop Filter,
+/// GB/s. §3.2: remote CXL peaks at just 20.4 GB/s at a 2:1 mix while UPI
+/// stays under 30 % utilized; Intel attributes this to RSF limits.
+pub const RSF_CAP_GBPS: f64 = 20.6;
+
+/// Knee for the RSF resource.
+pub const RSF_KNEE: f64 = 0.65;
+
+/// Queueing scale for the RSF, ns.
+pub const RSF_QUEUE_SCALE_NS: f64 = 120.0;
+
+/// Maximum utilization used when evaluating queue curves; demands beyond
+/// this are clamped by the bandwidth solver instead.
+pub const MAX_UTILIZATION: f64 = 0.995;
+
+/// SSD read latency (4 KiB, ns): ~90 µs for the testbed's NVMe drives.
+pub const SSD_READ_LATENCY_NS: f64 = 90_000.0;
+
+/// SSD write latency (4 KiB, ns).
+pub const SSD_WRITE_LATENCY_NS: f64 = 30_000.0;
+
+/// SSD sequential throughput, GB/s (1.92 TB data-center NVMe).
+pub const SSD_BW_GBPS: f64 = 3.2;

@@ -1,0 +1,200 @@
+//! Access mixes: read:write ratio, write type, and address pattern.
+
+use serde::{Deserialize, Serialize};
+
+/// Address pattern of a workload.
+///
+/// §3.3 finds no significant performance disparity between random and
+/// sequential access on either MMEM or CXL, so the pattern does not enter
+/// the bandwidth/latency math; it is carried so the MLC harness can
+/// reproduce Fig. 4(g)–(h) and so future device models may differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Sequential (streaming) addresses.
+    Sequential,
+    /// Uniformly random addresses.
+    Random,
+}
+
+/// A read:write traffic mix.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_perf::AccessMix;
+///
+/// let m = AccessMix::ratio(2, 1); // The paper's "2:1" mix.
+/// assert!((m.read_fraction - 2.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(AccessMix::read_only().read_fraction, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessMix {
+    /// Fraction of bytes that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Whether writes are non-temporal (streaming stores that bypass the
+    /// cache and post asynchronously). MLC's write workloads use NT
+    /// stores, which is why remote write-only idles at 71.77 ns (§3.2).
+    pub nt_writes: bool,
+    /// Address pattern.
+    pub pattern: Pattern,
+}
+
+impl std::str::FromStr for AccessMix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AccessMix::parse(s)
+    }
+}
+
+impl AccessMix {
+    /// Builds a mix from a `read:write` ratio as printed in the paper
+    /// (e.g. `ratio(1, 0)` is read-only, `ratio(0, 1)` write-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both parts are zero.
+    pub fn ratio(read: u32, write: u32) -> Self {
+        assert!(read + write > 0, "ratio 0:0 is meaningless");
+        Self {
+            read_fraction: read as f64 / (read + write) as f64,
+            nt_writes: true,
+            pattern: Pattern::Sequential,
+        }
+    }
+
+    /// Read-only mix (`1:0`).
+    pub fn read_only() -> Self {
+        Self::ratio(1, 0)
+    }
+
+    /// Write-only mix (`0:1`).
+    pub fn write_only() -> Self {
+        Self::ratio(0, 1)
+    }
+
+    /// Builds a mix from an arbitrary read fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_fraction` is outside `[0, 1]`.
+    pub fn from_read_fraction(read_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction out of range: {read_fraction}"
+        );
+        Self {
+            read_fraction,
+            nt_writes: true,
+            pattern: Pattern::Sequential,
+        }
+    }
+
+    /// Switches to regular (allocating, RFO) writes.
+    pub fn with_regular_writes(mut self) -> Self {
+        self.nt_writes = false;
+        self
+    }
+
+    /// Switches the address pattern.
+    pub fn with_pattern(mut self, pattern: Pattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Fraction of bytes that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        1.0 - self.read_fraction
+    }
+
+    /// Parses the paper's `read:write` notation (e.g. `"2:1"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem for malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (r, w) = s
+            .split_once(':')
+            .ok_or_else(|| format!("expected read:write, got '{s}'"))?;
+        let r: u32 = r
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad read part '{r}'"))?;
+        let w: u32 = w
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad write part '{w}'"))?;
+        if r + w == 0 {
+            return Err("ratio 0:0 is meaningless".to_string());
+        }
+        Ok(AccessMix::ratio(r, w))
+    }
+
+    /// The paper's label for this mix, e.g. `"2:1"`.
+    pub fn label(&self) -> String {
+        let r = self.read_fraction;
+        for (num, den) in [(1u32, 0u32), (0, 1), (3, 1), (2, 1), (1, 1), (1, 3)] {
+            let f = num as f64 / (num + den) as f64;
+            if (r - f).abs() < 1e-9 {
+                return format!("{num}:{den}");
+            }
+        }
+        format!("{:.2}r", r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        assert_eq!(AccessMix::ratio(1, 0).read_fraction, 1.0);
+        assert_eq!(AccessMix::ratio(0, 1).read_fraction, 0.0);
+        assert!((AccessMix::ratio(3, 1).read_fraction - 0.75).abs() < 1e-12);
+        assert!((AccessMix::ratio(1, 3).read_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(AccessMix::read_only().label(), "1:0");
+        assert_eq!(AccessMix::write_only().label(), "0:1");
+        assert_eq!(AccessMix::ratio(2, 1).label(), "2:1");
+        assert_eq!(AccessMix::from_read_fraction(0.9).label(), "0.90r");
+    }
+
+    #[test]
+    fn builder_flags() {
+        let m = AccessMix::ratio(1, 1)
+            .with_regular_writes()
+            .with_pattern(Pattern::Random);
+        assert!(!m.nt_writes);
+        assert_eq!(m.pattern, Pattern::Random);
+        assert_eq!(m.write_fraction(), 0.5);
+    }
+
+    #[test]
+    fn parse_roundtrips_labels() {
+        for label in ["1:0", "0:1", "3:1", "2:1", "1:1", "1:3"] {
+            let mix = AccessMix::parse(label).unwrap();
+            assert_eq!(mix.label(), label);
+        }
+        let via_fromstr: AccessMix = "2:1".parse().unwrap();
+        assert_eq!(via_fromstr.label(), "2:1");
+        assert!(AccessMix::parse("nonsense").is_err());
+        assert!(AccessMix::parse("0:0").is_err());
+        assert!(AccessMix::parse("a:1").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "0:0")]
+    fn zero_ratio_panics() {
+        AccessMix::ratio(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read fraction out of range")]
+    fn bad_fraction_panics() {
+        AccessMix::from_read_fraction(1.5);
+    }
+}

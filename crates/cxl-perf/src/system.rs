@@ -1,0 +1,968 @@
+//! The shared-resource memory system model and its bandwidth solver.
+//!
+//! A [`MemSystem`] is built from a [`Topology`]. Every potential
+//! bottleneck in the §3 measurements becomes a *resource* with a scalar
+//! capacity and a queueing-delay curve:
+//!
+//! * one DDR channel group per DRAM NUMA node (capacity in
+//!   read-equivalent bytes: a written byte costs more than a read byte,
+//!   which reproduces the 67 → 54.6 GB/s read→write peak drop),
+//! * per-direction PCIe/CXL link halves plus a write-message credit pool
+//!   for each CXL device,
+//! * the CXL controller's internal DDR scheduler,
+//! * per-direction UPI capacity plus a posted-write credit pool,
+//! * the Remote Snoop Filter of each socket that owns CXL devices.
+//!
+//! Concurrent [`FlowSpec`]s are resolved with max-min water-filling: a
+//! common scale factor grows until some resource saturates; the flows
+//! crossing it freeze there, and the rest keep growing. Loaded latency is
+//! the path idle latency plus the queueing delay of every resource on the
+//! path at its final utilization.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use cxl_topology::{MemoryTier, NodeId, NumaNode, SocketId, Topology};
+
+use crate::calib;
+use crate::curve::QueueModel;
+use crate::mix::AccessMix;
+use crate::tuning::PerfTuning;
+
+/// Read-equivalent cost of one written byte on a DDR channel group.
+fn write_cost_factor() -> f64 {
+    calib::DDR_READ_EFFICIENCY / calib::DDR_WRITE_EFFICIENCY
+}
+
+/// Access distance classes from §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Distance {
+    /// Socket-local DDR ("MMEM").
+    LocalDram,
+    /// Remote-socket DDR ("MMEM-r").
+    RemoteDram,
+    /// Socket-local CXL expander ("CXL").
+    LocalCxl,
+    /// Remote-socket CXL expander ("CXL-r").
+    RemoteCxl,
+}
+
+impl Distance {
+    /// The paper's label for the distance.
+    pub fn label(self) -> &'static str {
+        match self {
+            Distance::LocalDram => "MMEM",
+            Distance::RemoteDram => "MMEM-r",
+            Distance::LocalCxl => "CXL",
+            Distance::RemoteCxl => "CXL-r",
+        }
+    }
+}
+
+/// Identity of a shared hardware resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// DDR channel group behind a DRAM NUMA node.
+    DdrGroup(NodeId),
+    /// DDR channels behind a CXL device (keyed by its NUMA node id).
+    CxlBacking(NodeId),
+    /// Device-to-host half of a CXL link (read data).
+    CxlLinkD2h(NodeId),
+    /// Host-to-device half of a CXL link (write data).
+    CxlLinkH2d(NodeId),
+    /// CXL.mem write message/credit pool of a device.
+    CxlWriteMsg(NodeId),
+    /// UPI direction from one socket to another.
+    UpiDir(SocketId, SocketId),
+    /// Posted-write credit pool for remote stores from a socket.
+    UpiWriteCredit(SocketId, SocketId),
+    /// Remote Snoop Filter of the socket owning CXL devices; throttles
+    /// cross-socket CXL traffic (§3.2).
+    Rsf(SocketId),
+}
+
+#[derive(Debug, Clone)]
+struct Resource {
+    kind: ResourceKind,
+    cap_gbps: f64,
+    queue: QueueModel,
+}
+
+/// One memory traffic flow to be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Socket the accessing cores run on.
+    pub from: SocketId,
+    /// Target NUMA node.
+    pub node: NodeId,
+    /// Read:write mix.
+    pub mix: AccessMix,
+    /// Offered payload byte rate, GB/s. Use a large value to probe peak
+    /// bandwidth.
+    pub offered_gbps: f64,
+}
+
+impl FlowSpec {
+    /// Convenience constructor.
+    pub fn new(from: SocketId, node: NodeId, mix: AccessMix, offered_gbps: f64) -> Self {
+        Self {
+            from,
+            node,
+            mix,
+            offered_gbps,
+        }
+    }
+}
+
+/// Result for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// Achieved payload bandwidth, GB/s.
+    pub achieved_gbps: f64,
+    /// Average access latency at the solved operating point, ns.
+    pub latency_ns: f64,
+    /// True when the flow was throttled below its offered rate.
+    pub throttled: bool,
+}
+
+/// Per-resource latency decomposition of one flow (see
+/// [`MemSystem::latency_breakdown`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyBreakdown {
+    /// Path idle latency, ns.
+    pub idle_ns: f64,
+    /// Queueing delay per resource on the path, ns.
+    pub contributions: Vec<(ResourceKind, f64)>,
+    /// Total loaded latency (idle + contributions), ns.
+    pub total_ns: f64,
+}
+
+impl LatencyBreakdown {
+    /// The largest single contributor, if any queueing occurred.
+    pub fn dominant(&self) -> Option<(ResourceKind, f64)> {
+        self.contributions
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .filter(|&(_, d)| d > 0.0)
+    }
+}
+
+/// Result of a solve: per-flow outcomes and per-resource utilization.
+#[derive(Debug, Clone, Serialize)]
+pub struct SolveResult {
+    /// Outcome per input flow, same order.
+    pub flows: Vec<FlowOutcome>,
+    /// Utilization in `[0, 1]` per resource actually used.
+    pub utilization: Vec<(ResourceKind, f64)>,
+}
+
+impl SolveResult {
+    /// Utilization of one resource, or 0.0 if unused.
+    pub fn utilization_of(&self, kind: ResourceKind) -> f64 {
+        self.utilization
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, u)| u)
+            .unwrap_or(0.0)
+    }
+
+    /// Total achieved bandwidth across flows, GB/s.
+    pub fn total_achieved_gbps(&self) -> f64 {
+        self.flows.iter().map(|f| f.achieved_gbps).sum()
+    }
+}
+
+/// A segment of a flow's path: a resource plus the bytes it carries per
+/// payload byte of the flow.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    res: usize,
+    coef: f64,
+    /// Fraction of the carried bytes that are writes (for knee shifting).
+    write_share: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Path {
+    segments: Vec<Segment>,
+    idle_ns: f64,
+}
+
+/// The solvable memory system.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    nodes: Vec<NumaNode>,
+    resources: Vec<Resource>,
+    index: HashMap<ResourceKind, usize>,
+    /// Extra idle latency of a remote CXL access beyond the local one.
+    cxl_remote_extra_ns: f64,
+    /// Per-CXL-node device parameters (controller latency, efficiencies).
+    cxl_params: HashMap<NodeId, CxlNodeParams>,
+    sockets: Vec<SocketId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CxlNodeParams {
+    controller_latency_ns: f64,
+}
+
+impl MemSystem {
+    /// Builds the resource graph for a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has more than two sockets (the paper's
+    /// platform and the UPI model are two-socket).
+    pub fn new(topo: &Topology) -> Self {
+        Self::with_tuning(topo, PerfTuning::default())
+    }
+
+    /// Builds the resource graph with platform overrides (ablations and
+    /// next-generation projections).
+    ///
+    /// # Panics
+    ///
+    /// Panics on more than two sockets or an invalid tuning.
+    pub fn with_tuning(topo: &Topology, tuning: PerfTuning) -> Self {
+        tuning.validate();
+        assert!(
+            topo.sockets.len() <= 2,
+            "the performance model covers 1- and 2-socket platforms"
+        );
+        let nodes = topo.nodes();
+        let mut resources = Vec::new();
+        let mut index = HashMap::new();
+        let mut cxl_params = HashMap::new();
+
+        let mut add = |kind: ResourceKind, cap: f64, queue: QueueModel| {
+            let id = resources.len();
+            resources.push(Resource {
+                kind,
+                cap_gbps: cap,
+                queue,
+            });
+            index.insert(kind, id);
+            id
+        };
+
+        let ddr_queue = QueueModel {
+            knee: tuning.ddr_knee_read,
+            knee_write_shift: tuning.ddr_knee_read - tuning.ddr_knee_write,
+            queue_scale_ns: tuning.ddr_queue_scale_ns,
+            linear_ns: calib::DDR_LINEAR_NS,
+        };
+        let link_queue = QueueModel::fixed(
+            calib::CXL_LINK_KNEE,
+            calib::CXL_QUEUE_SCALE_NS,
+            calib::DDR_LINEAR_NS * 0.5,
+        );
+        let upi_queue = QueueModel::fixed(
+            calib::UPI_KNEE,
+            calib::UPI_QUEUE_SCALE_NS,
+            calib::DDR_LINEAR_NS * 0.5,
+        );
+        let rsf_queue = QueueModel::fixed(
+            calib::RSF_KNEE,
+            calib::RSF_QUEUE_SCALE_NS,
+            calib::DDR_LINEAR_NS,
+        );
+
+        for n in &nodes {
+            match n.tier {
+                MemoryTier::LocalDram => {
+                    let cap = n.peak_bandwidth_gbps() * calib::DDR_READ_EFFICIENCY;
+                    add(ResourceKind::DdrGroup(n.id), cap, ddr_queue);
+                }
+                MemoryTier::CxlExpander => {
+                    let dev = &topo.sockets[n.socket.0].cxl_devices
+                        [n.device_index.expect("CXL node must carry a device index")];
+                    let backing = dev.backing_bandwidth_gbps()
+                        * calib::DDR_READ_EFFICIENCY
+                        * calib::CXL_BACKING_EFFICIENCY;
+                    let link = dev.effective_link_bandwidth_gbps();
+                    add(ResourceKind::CxlBacking(n.id), backing, ddr_queue);
+                    add(ResourceKind::CxlLinkD2h(n.id), link, link_queue);
+                    add(ResourceKind::CxlLinkH2d(n.id), link, link_queue);
+                    add(
+                        ResourceKind::CxlWriteMsg(n.id),
+                        link * calib::CXL_WRITE_MSG_FRACTION,
+                        link_queue,
+                    );
+                    cxl_params.insert(
+                        n.id,
+                        CxlNodeParams {
+                            controller_latency_ns: dev.controller_latency_ns,
+                        },
+                    );
+                }
+            }
+        }
+
+        let sockets: Vec<SocketId> = topo.sockets.iter().map(|s| s.id).collect();
+        if topo.sockets.len() == 2 {
+            let upi_dir_bw: f64 = topo.upi.iter().map(|u| u.bandwidth_gbps).sum();
+            let (a, b) = (sockets[0], sockets[1]);
+            for (from, to) in [(a, b), (b, a)] {
+                add(ResourceKind::UpiDir(from, to), upi_dir_bw, upi_queue);
+                add(
+                    ResourceKind::UpiWriteCredit(from, to),
+                    tuning.upi_write_credit_gbps,
+                    upi_queue,
+                );
+            }
+            for s in [a, b] {
+                if !topo.sockets[s.0].cxl_devices.is_empty() && tuning.rsf_cap_gbps.is_finite() {
+                    add(ResourceKind::Rsf(s), tuning.rsf_cap_gbps, rsf_queue);
+                }
+            }
+        }
+
+        Self {
+            nodes,
+            resources,
+            index,
+            cxl_remote_extra_ns: calib::CXL_REMOTE_READ_IDLE_NS - calib::CXL_READ_IDLE_NS,
+            cxl_params,
+            sockets,
+        }
+    }
+
+    /// The NUMA nodes of the underlying topology.
+    pub fn nodes(&self) -> &[NumaNode] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn node(&self, id: NodeId) -> &NumaNode {
+        &self.nodes[id.0]
+    }
+
+    /// Classifies the access distance from a socket to a node.
+    pub fn distance(&self, from: SocketId, node: NodeId) -> Distance {
+        let n = self.node(node);
+        match (n.tier, n.socket == from) {
+            (MemoryTier::LocalDram, true) => Distance::LocalDram,
+            (MemoryTier::LocalDram, false) => Distance::RemoteDram,
+            (MemoryTier::CxlExpander, true) => Distance::LocalCxl,
+            (MemoryTier::CxlExpander, false) => Distance::RemoteCxl,
+        }
+    }
+
+    fn res(&self, kind: ResourceKind) -> usize {
+        *self
+            .index
+            .get(&kind)
+            .unwrap_or_else(|| panic!("resource {kind:?} not present in this topology"))
+    }
+
+    fn path(&self, from: SocketId, node: NodeId, mix: AccessMix) -> Path {
+        let n = self.node(node).clone();
+        let r = mix.read_fraction;
+        let w = mix.write_fraction();
+        let wf = write_cost_factor();
+        let mut segments = Vec::new();
+
+        let ddr_coef = r + w * wf;
+        match n.tier {
+            MemoryTier::LocalDram => {
+                segments.push(Segment {
+                    res: self.res(ResourceKind::DdrGroup(node)),
+                    coef: ddr_coef,
+                    write_share: w * wf / ddr_coef.max(1e-12),
+                });
+            }
+            MemoryTier::CxlExpander => {
+                segments.push(Segment {
+                    res: self.res(ResourceKind::CxlBacking(node)),
+                    coef: ddr_coef,
+                    write_share: w * wf / ddr_coef.max(1e-12),
+                });
+                if r > 0.0 {
+                    segments.push(Segment {
+                        res: self.res(ResourceKind::CxlLinkD2h(node)),
+                        coef: r,
+                        write_share: 0.0,
+                    });
+                }
+                if w > 0.0 {
+                    segments.push(Segment {
+                        res: self.res(ResourceKind::CxlLinkH2d(node)),
+                        coef: w,
+                        write_share: 1.0,
+                    });
+                    segments.push(Segment {
+                        res: self.res(ResourceKind::CxlWriteMsg(node)),
+                        coef: w,
+                        write_share: 1.0,
+                    });
+                }
+            }
+        }
+
+        let remote = n.socket != from;
+        if remote {
+            let coh = if mix.nt_writes {
+                calib::UPI_NT_COHERENCE_OVERHEAD
+            } else {
+                calib::UPI_COHERENCE_OVERHEAD
+            };
+            let out = w * (1.0 + coh); // Accessor -> memory socket.
+            let back = r + w * coh; // Memory socket -> accessor.
+            if out > 0.0 {
+                segments.push(Segment {
+                    res: self.res(ResourceKind::UpiDir(from, n.socket)),
+                    coef: out,
+                    write_share: 1.0,
+                });
+                segments.push(Segment {
+                    res: self.res(ResourceKind::UpiWriteCredit(from, n.socket)),
+                    coef: w,
+                    write_share: 1.0,
+                });
+            }
+            if back > 0.0 {
+                segments.push(Segment {
+                    res: self.res(ResourceKind::UpiDir(n.socket, from)),
+                    coef: back,
+                    write_share: (w * coh) / back.max(1e-12),
+                });
+            }
+            if n.tier == MemoryTier::CxlExpander {
+                // Absent on RSF-fixed platform projections (§3.4).
+                if let Some(&res) = self.index.get(&ResourceKind::Rsf(n.socket)) {
+                    segments.push(Segment {
+                        res,
+                        coef: 1.0,
+                        write_share: w,
+                    });
+                }
+            }
+        }
+
+        let idle_ns = self.idle_latency_ns(from, node, mix);
+        Path { segments, idle_ns }
+    }
+
+    /// Idle (unloaded) average access latency for a mix, ns.
+    ///
+    /// Blends per-operation read and write idle latencies by the mix's
+    /// byte fractions, reproducing the §3.2 idle points.
+    pub fn idle_latency_ns(&self, from: SocketId, node: NodeId, mix: AccessMix) -> f64 {
+        let n = self.node(node);
+        let remote = n.socket != from;
+        let (read_idle, write_idle) = match n.tier {
+            MemoryTier::LocalDram => {
+                let read = if remote {
+                    calib::MMEM_READ_IDLE_NS + calib::UPI_HOP_NS
+                } else {
+                    calib::MMEM_READ_IDLE_NS
+                };
+                let write = if mix.nt_writes {
+                    if remote {
+                        calib::NT_WRITE_IDLE_REMOTE_NS
+                    } else {
+                        calib::NT_WRITE_IDLE_LOCAL_NS
+                    }
+                } else {
+                    // Allocating writes pay a read-for-ownership round trip.
+                    read
+                };
+                (read, write)
+            }
+            MemoryTier::CxlExpander => {
+                let params = self.cxl_params[&node];
+                let base = calib::MMEM_READ_IDLE_NS + params.controller_latency_ns;
+                let read = if remote {
+                    base + self.cxl_remote_extra_ns
+                } else {
+                    base
+                };
+                let write = if mix.nt_writes {
+                    calib::CXL_NT_WRITE_IDLE_NS + if remote { calib::UPI_HOP_NS } else { 0.0 }
+                } else {
+                    read
+                };
+                (read, write)
+            }
+        };
+        mix.read_fraction * read_idle + mix.write_fraction() * write_idle
+    }
+
+    /// Solves a set of concurrent flows with max-min water-filling.
+    pub fn solve(&self, flows: &[FlowSpec]) -> SolveResult {
+        self.solve_internal(flows).0
+    }
+
+    fn solve_internal(&self, flows: &[FlowSpec]) -> (SolveResult, Vec<f64>, Vec<f64>, Vec<Path>) {
+        let paths: Vec<Path> = flows
+            .iter()
+            .map(|f| self.path(f.from, f.node, f.mix))
+            .collect();
+
+        let nres = self.resources.len();
+        let mut used = vec![0.0f64; nres]; // Payload-coef bytes consumed.
+        let mut write_used = vec![0.0f64; nres];
+        let mut scale = vec![0.0f64; flows.len()];
+        let mut active: Vec<usize> = (0..flows.len())
+            .filter(|&i| flows[i].offered_gbps > 0.0)
+            .collect();
+
+        // Water-filling: grow the common scale of active flows until a
+        // resource saturates; freeze the flows crossing it; repeat.
+        while !active.is_empty() {
+            let common = scale[active[0]];
+            let mut max_step = 1.0 - common;
+            let mut binding: Option<usize> = None;
+            #[allow(clippy::needless_range_loop)] // Parallel arrays; index is the id.
+            for res in 0..nres {
+                let demand: f64 = active
+                    .iter()
+                    .flat_map(|&i| paths[i].segments.iter().map(move |s| (i, s)))
+                    .filter(|(_, s)| s.res == res)
+                    .map(|(i, s)| flows[i].offered_gbps * s.coef)
+                    .sum();
+                if demand <= 0.0 {
+                    continue;
+                }
+                let residual = (self.resources[res].cap_gbps - used[res]).max(0.0);
+                let step = residual / demand;
+                if step < max_step {
+                    max_step = step;
+                    binding = Some(res);
+                }
+            }
+
+            // Apply the step to every active flow.
+            for &i in &active {
+                scale[i] += max_step;
+                for s in &paths[i].segments {
+                    let add = flows[i].offered_gbps * max_step * s.coef;
+                    used[s.res] += add;
+                    write_used[s.res] += add * s.write_share;
+                }
+            }
+
+            match binding {
+                None => break, // Everyone reached their offered rate.
+                Some(res) => {
+                    // Freeze flows crossing the saturated resource.
+                    active.retain(|&i| !paths[i].segments.iter().any(|s| s.res == res));
+                }
+            }
+        }
+
+        // Compute utilization and per-flow latency.
+        let utilization: Vec<(ResourceKind, f64)> = self
+            .resources
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| used[*i] > 0.0)
+            .map(|(i, r)| (r.kind, (used[i] / r.cap_gbps).min(1.0)))
+            .collect();
+
+        let outcomes = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let achieved = f.offered_gbps * scale[i];
+                let mut latency = paths[i].idle_ns;
+                for s in &paths[i].segments {
+                    let res = &self.resources[s.res];
+                    let u = used[s.res] / res.cap_gbps;
+                    let wf = if used[s.res] > 0.0 {
+                        write_used[s.res] / used[s.res]
+                    } else {
+                        0.0
+                    };
+                    latency += res.queue.delay_ns(u, wf);
+                }
+                FlowOutcome {
+                    achieved_gbps: achieved,
+                    latency_ns: latency,
+                    throttled: achieved < f.offered_gbps * 0.999,
+                }
+            })
+            .collect();
+
+        (
+            SolveResult {
+                flows: outcomes,
+                utilization,
+            },
+            used,
+            write_used,
+            paths,
+        )
+    }
+
+    /// Per-resource latency contributions of one flow at the solved
+    /// operating point (diagnostics: *where* does remote-CXL latency
+    /// come from?).
+    ///
+    /// Returns the path's idle latency plus `(resource, delay_ns)` pairs
+    /// in path order; their sum equals the flow's
+    /// [`FlowOutcome::latency_ns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn latency_breakdown(&self, flows: &[FlowSpec], index: usize) -> LatencyBreakdown {
+        assert!(index < flows.len(), "flow index out of range");
+        let (result, used, write_used, paths) = self.solve_internal(flows);
+        let mut contributions = Vec::new();
+        for seg in &paths[index].segments {
+            let res = &self.resources[seg.res];
+            let u = used[seg.res] / res.cap_gbps;
+            let wf = if used[seg.res] > 0.0 {
+                write_used[seg.res] / used[seg.res]
+            } else {
+                0.0
+            };
+            contributions.push((res.kind, res.queue.delay_ns(u, wf)));
+        }
+        LatencyBreakdown {
+            idle_ns: paths[index].idle_ns,
+            contributions,
+            total_ns: result.flows[index].latency_ns,
+        }
+    }
+
+    /// Loaded latency and achieved bandwidth for a single flow.
+    pub fn loaded_point(&self, flow: FlowSpec) -> FlowOutcome {
+        self.solve(std::slice::from_ref(&flow)).flows[0]
+    }
+
+    /// Peak achievable bandwidth for a single flow, GB/s.
+    pub fn max_bandwidth_gbps(&self, from: SocketId, node: NodeId, mix: AccessMix) -> f64 {
+        self.loaded_point(FlowSpec::new(from, node, mix, 10_000.0))
+            .achieved_gbps
+    }
+
+    /// Socket ids of the platform.
+    pub fn sockets(&self) -> &[SocketId] {
+        &self.sockets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_topology::{SncMode, Topology};
+
+    fn sys() -> MemSystem {
+        MemSystem::new(&Topology::paper_testbed(SncMode::Snc4))
+    }
+
+    fn s0() -> SocketId {
+        SocketId(0)
+    }
+
+    fn dram0() -> NodeId {
+        NodeId(0)
+    }
+
+    fn dram_remote() -> NodeId {
+        NodeId(4) // First SNC domain of socket 1.
+    }
+
+    fn cxl0() -> NodeId {
+        NodeId(8) // First CXL device, attached to socket 0.
+    }
+
+    #[test]
+    fn idle_latencies_match_section_3_2() {
+        let m = sys();
+        let read = AccessMix::read_only();
+        assert!((m.idle_latency_ns(s0(), dram0(), read) - 97.0).abs() < 1e-9);
+        assert!((m.idle_latency_ns(s0(), dram_remote(), read) - 130.0).abs() < 1e-9);
+        assert!((m.idle_latency_ns(s0(), cxl0(), read) - 250.42).abs() < 0.5);
+        assert!((m.idle_latency_ns(SocketId(1), cxl0(), read) - 485.0).abs() < 0.5);
+        // Remote NT write-only idles at 71.77 ns.
+        let wr = AccessMix::write_only();
+        assert!((m.idle_latency_ns(s0(), dram_remote(), wr) - 71.77).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cxl_latency_ratios_match_section_3_3() {
+        let m = sys();
+        let read = AccessMix::read_only();
+        let local = m.idle_latency_ns(s0(), dram0(), read);
+        let remote = m.idle_latency_ns(s0(), dram_remote(), read);
+        let cxl = m.idle_latency_ns(s0(), cxl0(), read);
+        let vs_local = cxl / local;
+        let vs_remote = cxl / remote;
+        assert!((2.4..=2.6).contains(&vs_local), "CXL/MMEM = {vs_local}");
+        assert!(
+            (1.5..=1.95).contains(&vs_remote),
+            "CXL/MMEM-r = {vs_remote}"
+        );
+    }
+
+    #[test]
+    fn local_ddr_peaks_match_fig3a() {
+        let m = sys();
+        let read = m.max_bandwidth_gbps(s0(), dram0(), AccessMix::read_only());
+        let write = m.max_bandwidth_gbps(s0(), dram0(), AccessMix::write_only());
+        assert!((read - 66.8).abs() < 0.5, "read peak {read}");
+        assert!((write - 54.6).abs() < 0.5, "write peak {write}");
+    }
+
+    #[test]
+    fn local_cxl_peaks_match_fig3c() {
+        let m = sys();
+        let peak_21 = m.max_bandwidth_gbps(s0(), cxl0(), AccessMix::ratio(2, 1));
+        assert!((peak_21 - 56.7).abs() < 1.0, "2:1 peak {peak_21}");
+        let read_only = m.max_bandwidth_gbps(s0(), cxl0(), AccessMix::read_only());
+        // Read-only is PCIe-direction-limited, hence below the 2:1 mix.
+        assert!(read_only < peak_21, "read {read_only} vs 2:1 {peak_21}");
+        assert!((read_only - 47.1).abs() < 1.0, "read-only {read_only}");
+        let write_only = m.max_bandwidth_gbps(s0(), cxl0(), AccessMix::write_only());
+        assert!(write_only < read_only, "write-only {write_only}");
+    }
+
+    #[test]
+    fn remote_cxl_collapses_to_rsf_limit() {
+        let m = sys();
+        let peak = m.max_bandwidth_gbps(SocketId(1), cxl0(), AccessMix::ratio(2, 1));
+        assert!((peak - 20.4).abs() < 1.2, "remote CXL peak {peak}");
+        // UPI stays lightly utilized at that point (§3.2: < 30 %).
+        let r = m.solve(&[FlowSpec::new(
+            SocketId(1),
+            cxl0(),
+            AccessMix::ratio(2, 1),
+            10_000.0,
+        )]);
+        let upi_back = r.utilization_of(ResourceKind::UpiDir(s0(), SocketId(1)));
+        let upi_out = r.utilization_of(ResourceKind::UpiDir(SocketId(1), s0()));
+        assert!(upi_back < 0.3, "UPI util {upi_back}");
+        assert!(upi_out < 0.3, "UPI util {upi_out}");
+    }
+
+    #[test]
+    fn remote_ddr_read_comparable_to_local_but_writes_collapse() {
+        let m = sys();
+        let read = m.max_bandwidth_gbps(s0(), dram_remote(), AccessMix::read_only());
+        let local = m.max_bandwidth_gbps(s0(), dram0(), AccessMix::read_only());
+        assert!(read > 0.9 * local, "remote read {read} local {local}");
+        let w11 = m.max_bandwidth_gbps(s0(), dram_remote(), AccessMix::ratio(1, 1));
+        let w01 = m.max_bandwidth_gbps(s0(), dram_remote(), AccessMix::write_only());
+        assert!(w11 < read, "1:1 {w11} not below read {read}");
+        assert!(w01 < w11, "write-only {w01} not lowest");
+        assert!(w01 < 25.0, "write-only too high: {w01}");
+    }
+
+    #[test]
+    fn latency_flat_then_spikes() {
+        let m = sys();
+        let mix = AccessMix::read_only();
+        let idle = m.idle_latency_ns(s0(), dram0(), mix);
+        let half = m
+            .loaded_point(FlowSpec::new(s0(), dram0(), mix, 33.0))
+            .latency_ns;
+        let full = m
+            .loaded_point(FlowSpec::new(s0(), dram0(), mix, 10_000.0))
+            .latency_ns;
+        assert!(half < idle + 15.0, "half-load latency {half}");
+        assert!(full > 4.0 * idle, "saturated latency {full}");
+    }
+
+    #[test]
+    fn knee_between_75_and_83_percent_for_reads() {
+        let m = sys();
+        let mix = AccessMix::read_only();
+        let peak = m.max_bandwidth_gbps(s0(), dram0(), mix);
+        let idle = m.idle_latency_ns(s0(), dram0(), mix);
+        // Below 75 % of peak the latency is still near idle.
+        let low = m
+            .loaded_point(FlowSpec::new(s0(), dram0(), mix, 0.74 * peak))
+            .latency_ns;
+        assert!(low < idle * 1.25, "low {low} idle {idle}");
+        // At 90 % the queue is clearly visible.
+        let high = m
+            .loaded_point(FlowSpec::new(s0(), dram0(), mix, 0.90 * peak))
+            .latency_ns;
+        assert!(high > idle * 1.3, "high {high} idle {idle}");
+    }
+
+    #[test]
+    fn two_flows_share_a_ddr_group_fairly() {
+        let m = sys();
+        let mix = AccessMix::read_only();
+        let f = FlowSpec::new(s0(), dram0(), mix, 10_000.0);
+        let r = m.solve(&[f, f]);
+        let total = r.total_achieved_gbps();
+        let single = m.max_bandwidth_gbps(s0(), dram0(), mix);
+        assert!(
+            (total - single).abs() < 0.5,
+            "total {total} single {single}"
+        );
+        assert!((r.flows[0].achieved_gbps - r.flows[1].achieved_gbps).abs() < 0.5);
+    }
+
+    #[test]
+    fn flows_on_distinct_nodes_do_not_contend() {
+        let m = sys();
+        let mix = AccessMix::read_only();
+        let r = m.solve(&[
+            FlowSpec::new(s0(), NodeId(0), mix, 10_000.0),
+            FlowSpec::new(s0(), NodeId(1), mix, 10_000.0),
+        ]);
+        let single = m.max_bandwidth_gbps(s0(), NodeId(0), mix);
+        assert!((r.flows[0].achieved_gbps - single).abs() < 0.5);
+        assert!((r.flows[1].achieved_gbps - single).abs() < 0.5);
+    }
+
+    #[test]
+    fn unthrottled_flow_keeps_offered_rate() {
+        let m = sys();
+        let f = FlowSpec::new(s0(), dram0(), AccessMix::read_only(), 10.0);
+        let out = m.loaded_point(f);
+        assert!(!out.throttled);
+        assert!((out.achieved_gbps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offloading_to_cxl_relieves_ddr_contention() {
+        // §3.4's key insight: moving part of a heavy workload to CXL
+        // lowers the latency of the DDR share even before DDR saturates.
+        let m = sys();
+        let mix = AccessMix::read_only();
+        let all_ddr = m
+            .loaded_point(FlowSpec::new(s0(), dram0(), mix, 62.0))
+            .latency_ns;
+        let split = m.solve(&[
+            FlowSpec::new(s0(), dram0(), mix, 49.6),
+            FlowSpec::new(s0(), cxl0(), mix, 12.4),
+        ]);
+        let ddr_lat = split.flows[0].latency_ns;
+        assert!(
+            ddr_lat < all_ddr,
+            "DDR flow latency with offload {ddr_lat} vs without {all_ddr}"
+        );
+    }
+
+    #[test]
+    fn distance_classification() {
+        let m = sys();
+        assert_eq!(m.distance(s0(), dram0()), Distance::LocalDram);
+        assert_eq!(m.distance(s0(), dram_remote()), Distance::RemoteDram);
+        assert_eq!(m.distance(s0(), cxl0()), Distance::LocalCxl);
+        assert_eq!(m.distance(SocketId(1), cxl0()), Distance::RemoteCxl);
+        assert_eq!(Distance::LocalCxl.label(), "CXL");
+    }
+
+    #[test]
+    fn single_socket_topology_builds() {
+        let m = MemSystem::new(&Topology::snc_domain_with_cxl());
+        assert_eq!(m.nodes().len(), 2);
+        let bw = m.max_bandwidth_gbps(s0(), NodeId(0), AccessMix::read_only());
+        assert!((bw - 66.8).abs() < 0.5);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_latency() {
+        let m = sys();
+        let flows = [FlowSpec::new(s0(), dram0(), AccessMix::read_only(), 60.0)];
+        let b = m.latency_breakdown(&flows, 0);
+        let sum: f64 = b.idle_ns + b.contributions.iter().map(|&(_, d)| d).sum::<f64>();
+        assert!(
+            (sum - b.total_ns).abs() < 1e-9,
+            "sum {sum} total {}",
+            b.total_ns
+        );
+        assert!(b.total_ns > b.idle_ns, "60 GB/s should queue");
+    }
+
+    #[test]
+    fn remote_cxl_latency_dominated_by_rsf_under_load() {
+        let m = sys();
+        let flows = [FlowSpec::new(
+            SocketId(1),
+            cxl0(),
+            AccessMix::ratio(2, 1),
+            19.0,
+        )];
+        let b = m.latency_breakdown(&flows, 0);
+        let (kind, delay) = b.dominant().expect("queueing at 19 of ~20.6 GB/s");
+        assert!(
+            matches!(kind, ResourceKind::Rsf(_)),
+            "dominant {kind:?} ({delay} ns)"
+        );
+    }
+
+    #[test]
+    fn idle_flow_has_no_contributions_above_linear() {
+        let m = sys();
+        let flows = [FlowSpec::new(s0(), dram0(), AccessMix::read_only(), 1.0)];
+        let b = m.latency_breakdown(&flows, 0);
+        // Only the gentle linear term, well under 1 ns at 1.5 % load.
+        let total_delay: f64 = b.contributions.iter().map(|&(_, d)| d).sum();
+        assert!(total_delay < 1.0, "delay {total_delay}");
+    }
+
+    #[test]
+    fn rsf_fixed_platform_recovers_remote_cxl_bandwidth() {
+        // §3.4: with proper CXL support, cross-socket CXL bandwidth
+        // should approximate cross-socket MMEM bandwidth.
+        let topo = Topology::paper_testbed(SncMode::Snc4);
+        let fixed = MemSystem::with_tuning(&topo, crate::tuning::PerfTuning::rsf_fixed());
+        let mix = AccessMix::ratio(2, 1);
+        let remote_cxl = fixed.max_bandwidth_gbps(SocketId(1), cxl0(), mix);
+        let remote_ddr = fixed.max_bandwidth_gbps(s0(), dram_remote(), mix);
+        let broken = sys().max_bandwidth_gbps(SocketId(1), cxl0(), mix);
+        assert!(
+            remote_cxl > 2.0 * broken,
+            "fixed {remote_cxl} broken {broken}"
+        );
+        assert!(
+            remote_cxl > 0.75 * remote_ddr,
+            "remote CXL {remote_cxl} vs remote DDR {remote_ddr}"
+        );
+    }
+
+    #[test]
+    fn knee_tuning_moves_the_knee() {
+        let topo = Topology::paper_testbed(SncMode::Snc4);
+        let early =
+            MemSystem::with_tuning(&topo, crate::tuning::PerfTuning::default().with_knee(0.55));
+        let mix = AccessMix::read_only();
+        let peak = early.max_bandwidth_gbps(s0(), dram0(), mix);
+        let at_65 = early
+            .loaded_point(FlowSpec::new(s0(), dram0(), mix, 0.65 * peak))
+            .latency_ns;
+        let idle = early.idle_latency_ns(s0(), dram0(), mix);
+        // With the knee at 0.55, 65 % load already queues visibly, unlike
+        // the paper platform where the knee sits at 0.80.
+        assert!(at_65 > idle * 1.15, "at_65 {at_65} idle {idle}");
+        let stock = sys()
+            .loaded_point(FlowSpec::new(s0(), dram0(), mix, 0.65 * peak))
+            .latency_ns;
+        assert!(at_65 > stock);
+    }
+
+    #[test]
+    fn fpga_device_is_slower_than_asic() {
+        use cxl_topology::{CxlDevice, DdrGeneration, Socket};
+        let topo = Topology {
+            sockets: vec![Socket::new(s0(), 14, 2, DdrGeneration::Ddr5_4800, 128)
+                .with_devices(vec![CxlDevice::fpga_prototype()])],
+            snc: SncMode::Disabled,
+            upi: vec![],
+        };
+        let fpga = MemSystem::new(&topo);
+        let asic = MemSystem::new(&Topology::snc_domain_with_cxl());
+        let mix = AccessMix::read_only();
+        let fpga_bw = fpga.max_bandwidth_gbps(s0(), NodeId(1), mix);
+        let asic_bw = asic.max_bandwidth_gbps(s0(), NodeId(1), mix);
+        assert!(fpga_bw < asic_bw, "fpga {fpga_bw} asic {asic_bw}");
+        let fpga_lat = fpga.idle_latency_ns(s0(), NodeId(1), mix);
+        let asic_lat = asic.idle_latency_ns(s0(), NodeId(1), mix);
+        assert!(fpga_lat > asic_lat);
+    }
+}

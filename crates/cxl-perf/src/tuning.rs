@@ -1,0 +1,132 @@
+//! Platform tuning overrides for what-if studies.
+//!
+//! The §3 calibration constants describe the paper's specific platform
+//! (Sapphire Rapids + A1000). Several of its bottlenecks are explicitly
+//! called out as fixable — Intel attributes the remote-CXL collapse to
+//! the Remote Snoop Filter and anticipates it "addressed in the
+//! next-generation processors" (§3.2/§3.4) — so the ablation harness
+//! needs to vary them without recompiling. A [`PerfTuning`] bundles the
+//! overridable knobs; [`PerfTuning::default`] reproduces the paper's
+//! platform exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib;
+
+/// Overridable platform parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfTuning {
+    /// Remote Snoop Filter ceiling for cross-socket CXL traffic, GB/s.
+    /// `f64::INFINITY` models the fixed next-generation CPUs of §3.4.
+    pub rsf_cap_gbps: f64,
+    /// DDR latency knee for read-only blends (utilization fraction).
+    pub ddr_knee_read: f64,
+    /// DDR latency knee for write-only blends.
+    pub ddr_knee_write: f64,
+    /// DDR queueing-delay scale, ns.
+    pub ddr_queue_scale_ns: f64,
+    /// Posted-write credit limit across UPI, GB/s.
+    pub upi_write_credit_gbps: f64,
+}
+
+impl Default for PerfTuning {
+    fn default() -> Self {
+        Self {
+            rsf_cap_gbps: calib::RSF_CAP_GBPS,
+            ddr_knee_read: calib::DDR_KNEE_READ,
+            ddr_knee_write: calib::DDR_KNEE_WRITE,
+            ddr_queue_scale_ns: calib::DDR_QUEUE_SCALE_NS,
+            upi_write_credit_gbps: calib::UPI_WRITE_CREDIT_GBPS,
+        }
+    }
+}
+
+impl PerfTuning {
+    /// The paper's platform (identical to `default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A projected next-generation CPU with the Remote Snoop Filter
+    /// bottleneck removed (§3.4: remote CXL should then approximate
+    /// remote DDR bandwidth).
+    pub fn rsf_fixed() -> Self {
+        Self {
+            rsf_cap_gbps: f64::INFINITY,
+            ..Self::default()
+        }
+    }
+
+    /// Moves the DDR knee, preserving the read/write gap (ablation:
+    /// knee-position sensitivity).
+    pub fn with_knee(mut self, knee_read: f64) -> Self {
+        let gap = self.ddr_knee_read - self.ddr_knee_write;
+        self.ddr_knee_read = knee_read;
+        self.ddr_knee_write = (knee_read - gap).max(0.05);
+        self
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a knob is out of range.
+    pub fn validate(&self) {
+        assert!(self.rsf_cap_gbps > 0.0, "RSF cap must be positive");
+        assert!(
+            (0.05..1.0).contains(&self.ddr_knee_read),
+            "read knee out of range"
+        );
+        assert!(
+            (0.05..1.0).contains(&self.ddr_knee_write),
+            "write knee out of range"
+        );
+        assert!(
+            self.ddr_knee_write <= self.ddr_knee_read,
+            "write knee must not exceed read knee"
+        );
+        assert!(self.ddr_queue_scale_ns >= 0.0, "queue scale negative");
+        assert!(
+            self.upi_write_credit_gbps > 0.0,
+            "UPI write credit must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_calibration() {
+        let t = PerfTuning::default();
+        assert_eq!(t.rsf_cap_gbps, calib::RSF_CAP_GBPS);
+        assert_eq!(t.ddr_knee_read, calib::DDR_KNEE_READ);
+        t.validate();
+    }
+
+    #[test]
+    fn rsf_fixed_is_unbounded() {
+        let t = PerfTuning::rsf_fixed();
+        assert!(t.rsf_cap_gbps.is_infinite());
+        t.validate();
+    }
+
+    #[test]
+    fn with_knee_preserves_gap() {
+        let t = PerfTuning::default().with_knee(0.6);
+        assert!((t.ddr_knee_read - 0.6).abs() < 1e-12);
+        assert!(
+            (t.ddr_knee_read - t.ddr_knee_write - (calib::DDR_KNEE_READ - calib::DDR_KNEE_WRITE))
+                .abs()
+                < 1e-12
+        );
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "read knee out of range")]
+    fn bad_knee_rejected() {
+        PerfTuning::default().with_knee(1.5).validate();
+    }
+}

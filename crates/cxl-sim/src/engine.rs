@@ -1,0 +1,290 @@
+//! The event loop: a time-ordered heap of boxed event closures.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type EventFn<S> = Box<dyn FnOnce(&mut Engine<S>)>;
+
+struct Scheduled<S> {
+    id: EventId,
+    f: EventFn<S>,
+}
+
+/// A deterministic discrete-event engine over user state `S`.
+///
+/// Events are closures receiving `&mut Engine<S>`; they may read/mutate
+/// the state via [`Engine::state_mut`] and schedule further events.
+/// Simultaneous events run in scheduling order (FIFO tie-break).
+pub struct Engine<S> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    events: std::collections::HashMap<(SimTime, u64), Scheduled<S>>,
+    cancelled: HashSet<EventId>,
+    state: S,
+    executed: u64,
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine at time zero with the given state.
+    pub fn new(state: S) -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            events: std::collections::HashMap::new(),
+            cancelled: HashSet::new(),
+            state,
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Shared access to the user state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the user state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the engine, returning the state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut Engine<S>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let id = EventId(self.seq);
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.heap.push(Reverse(key));
+        self.events.insert(key, Scheduled { id, f: Box::new(f) });
+        id
+    }
+
+    /// Schedules an event after a delay from now.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimTime,
+        f: impl FnOnce(&mut Engine<S>) + 'static,
+    ) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, f)
+    }
+
+    /// Schedules a repeating event: `f` runs every `period` starting one
+    /// period from now, rescheduling itself while it returns `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero (the loop would never advance time).
+    pub fn schedule_every(
+        &mut self,
+        period: SimTime,
+        f: impl FnMut(&mut Engine<S>) -> bool + 'static,
+    ) {
+        assert!(period > SimTime::ZERO, "repeating period must be positive");
+        fn tick<S>(
+            e: &mut Engine<S>,
+            period: SimTime,
+            mut f: impl FnMut(&mut Engine<S>) -> bool + 'static,
+        ) {
+            if f(e) {
+                e.schedule_after(period, move |e| tick(e, period, f));
+            }
+        }
+        self.schedule_after(period, move |e| tick(e, period, f));
+    }
+
+    /// Cancels a scheduled event. Cancelling an already-executed or
+    /// unknown event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Executes the next event, advancing time. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(Reverse(key)) = self.heap.pop() {
+            let ev = self
+                .events
+                .remove(&key)
+                .expect("heap key without event entry");
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.now = key.0;
+            self.executed += 1;
+            (ev.f)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with timestamps `<= until`, then sets the clock to
+    /// `until` (if it is later than the last event).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(&Reverse((t, _))) = self.heap.peek() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// True when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.heap.len() == self.cancelled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e: Engine<Vec<u32>> = Engine::new(Vec::new());
+        e.schedule_after(SimTime::from_ns(30), |e| e.state_mut().push(3));
+        e.schedule_after(SimTime::from_ns(10), |e| e.state_mut().push(1));
+        e.schedule_after(SimTime::from_ns(20), |e| e.state_mut().push(2));
+        e.run();
+        assert_eq!(e.state(), &vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_ns(30));
+        assert_eq!(e.executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut e: Engine<Vec<u32>> = Engine::new(Vec::new());
+        for i in 0..10 {
+            e.schedule_at(SimTime::from_ns(5), move |e| e.state_mut().push(i));
+        }
+        e.run();
+        assert_eq!(e.state(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut e: Engine<u64> = Engine::new(0);
+        fn tick(e: &mut Engine<u64>) {
+            *e.state_mut() += 1;
+            if *e.state() < 5 {
+                e.schedule_after(SimTime::from_ns(100), tick);
+            }
+        }
+        e.schedule_after(SimTime::from_ns(100), tick);
+        e.run();
+        assert_eq!(*e.state(), 5);
+        assert_eq!(e.now(), SimTime::from_ns(500));
+    }
+
+    #[test]
+    fn schedule_every_repeats_until_false() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_every(SimTime::from_ns(10), |e| {
+            *e.state_mut() += 1;
+            *e.state() < 5
+        });
+        e.run();
+        assert_eq!(*e.state(), 5);
+        assert_eq!(e.now(), SimTime::from_ns(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeating period must be positive")]
+    fn zero_period_rejected() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_every(SimTime::ZERO, |_| true);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let id = e.schedule_after(SimTime::from_ns(10), |e| *e.state_mut() += 1);
+        e.schedule_after(SimTime::from_ns(20), |e| *e.state_mut() += 100);
+        e.cancel(id);
+        e.run();
+        assert_eq!(*e.state(), 100);
+        assert_eq!(e.executed(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_at(SimTime::from_ns(10), |e| *e.state_mut() += 1);
+        e.schedule_at(SimTime::from_ns(50), |e| *e.state_mut() += 1);
+        e.run_until(SimTime::from_ns(30));
+        assert_eq!(*e.state(), 1);
+        assert_eq!(e.now(), SimTime::from_ns(30));
+        assert!(!e.is_idle());
+        e.run();
+        assert_eq!(*e.state(), 2);
+    }
+
+    #[test]
+    fn run_until_exact_boundary_inclusive() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_at(SimTime::from_ns(10), |e| *e.state_mut() += 1);
+        e.run_until(SimTime::from_ns(10));
+        assert_eq!(*e.state(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_at(SimTime::from_ns(10), |e| {
+            e.schedule_at(SimTime::from_ns(5), |_| {});
+        });
+        e.run();
+    }
+
+    #[test]
+    fn into_state_returns_final_state() {
+        let mut e: Engine<String> = Engine::new(String::new());
+        e.schedule_after(SimTime::ZERO, |e| e.state_mut().push('x'));
+        e.run();
+        assert_eq!(e.into_state(), "x");
+    }
+}

@@ -1,0 +1,135 @@
+//! Token-bucket rate limiting in virtual time.
+//!
+//! The hot-page-selection kernel patch caps promotion/demotion throughput
+//! with `numa_balancing_promote_rate_limit_MBps` (§2.3); the tiering
+//! layer models that limit with this bucket.
+
+use crate::time::SimTime;
+
+/// A token bucket refilling continuously in virtual time.
+///
+/// Tokens are abstract units (the tiering layer uses bytes).
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket with a refill `rate_per_sec` and a `burst`
+    /// capacity, starting full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate or burst is not positive and finite.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "invalid rate {rate_per_sec}"
+        );
+        assert!(burst > 0.0 && burst.is_finite(), "invalid burst {burst}");
+        Self {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.last {
+            let dt = (now - self.last).as_secs_f64();
+            self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+            self.last = now;
+        }
+    }
+
+    /// Attempts to take `amount` tokens at `now`. Returns `true` on
+    /// success; on failure no tokens are consumed.
+    pub fn try_take(&mut self, now: SimTime, amount: f64) -> bool {
+        self.refill(now);
+        if self.tokens >= amount {
+            self.tokens -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available at `now`.
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// The configured refill rate.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Updates the refill rate (used by the dynamic threshold logic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new rate is not positive and finite.
+    pub fn set_rate(&mut self, now: SimTime, rate_per_sec: f64) {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "invalid rate {rate_per_sec}"
+        );
+        self.refill(now);
+        self.rate_per_sec = rate_per_sec;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        assert!(b.try_take(SimTime::ZERO, 50.0));
+        assert!(!b.try_take(SimTime::ZERO, 1.0));
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        assert!(b.try_take(SimTime::ZERO, 50.0));
+        // After 0.2 s at 100/s, 20 tokens are back.
+        let t = SimTime::from_ms(200);
+        assert!(b.try_take(t, 20.0));
+        assert!(!b.try_take(t, 1.0));
+    }
+
+    #[test]
+    fn burst_caps_accumulation() {
+        let mut b = TokenBucket::new(1_000.0, 10.0);
+        let t = SimTime::from_secs(100);
+        assert!((b.available(t) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_take_preserves_tokens() {
+        let mut b = TokenBucket::new(1.0, 5.0);
+        assert!(!b.try_take(SimTime::ZERO, 10.0));
+        assert!((b.available(SimTime::ZERO) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_rate_changes_refill() {
+        let mut b = TokenBucket::new(1.0, 100.0);
+        assert!(b.try_take(SimTime::ZERO, 100.0));
+        b.set_rate(SimTime::ZERO, 1_000.0);
+        assert!(b.try_take(SimTime::from_ms(50), 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn zero_rate_panics() {
+        TokenBucket::new(0.0, 1.0);
+    }
+}

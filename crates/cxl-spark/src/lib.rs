@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Spark SQL / TPC-H shuffle simulation (§4.2).
+//!
+//! The paper compares running 150 single-core / 8 GB Spark executors over
+//! TPC-H (7 TB) on **three** servers with all data in MMEM against
+//! **two** servers whose memory is extended with CXL (3:1 / 1:1 / 1:3
+//! interleave or Hot-Promote), and against memory-restricted
+//! configurations that spill shuffle data to SSD.
+//!
+//! Model: a query is a sequence of stages; each stage scans input,
+//! hash-partitions it (dependent, latency-bound accesses), and streams
+//! shuffle data (bandwidth-bound). Executor heaps are striped across
+//! NUMA nodes by the placement policy; the aggregate streaming demand of
+//! all executors on a server is priced by the `cxl-perf` flow solver, so
+//! DDR/CXL-link/RSF contention emerges rather than being assumed. In
+//! particular, executors on the CXL-less socket must reach the expanders
+//! across UPI, hitting the §3.2 Remote Snoop Filter ceiling — a large
+//! part of why heavy CXL interleave ratios degrade so sharply (the
+//! paper's 1.4–9.8× band).
+
+pub mod cluster;
+pub mod query;
+pub mod runner;
+
+pub use cluster::{ClusterConfig, Placement};
+pub use query::{tpch_queries, QueryProfile, StageProfile};
+pub use runner::{run_query, QueryResult};

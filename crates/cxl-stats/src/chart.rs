@@ -1,0 +1,171 @@
+//! ASCII line charts for terminal-rendered figures.
+//!
+//! The regeneration binaries print figure data as `x y` pairs; with
+//! `--chart` they also draw the curves, so the paper's figure *shapes*
+//! (latency knees, serving-rate crossovers) are visible without leaving
+//! the terminal.
+
+use crate::report::{Figure, Series};
+
+/// Glyphs assigned to series in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders one figure as an ASCII chart of `width × height` characters
+/// (plot area, excluding axes and labels).
+///
+/// Points are plotted with one glyph per series; later series overwrite
+/// earlier ones on collisions. Returns an empty string for a figure with
+/// no points.
+///
+/// # Panics
+///
+/// Panics if `width < 10` or `height < 4`.
+pub fn render_chart(fig: &Figure, width: usize, height: usize) -> String {
+    assert!(width >= 10, "chart width too small");
+    assert!(height >= 4, "chart height too small");
+
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in &fig.series {
+        for &(x, y) in &s.points {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+    }
+    if !min_x.is_finite() {
+        return String::new();
+    }
+    // Degenerate ranges widen to a unit band.
+    if (max_x - min_x).abs() < 1e-12 {
+        max_x = min_x + 1.0;
+    }
+    if (max_y - min_y).abs() < 1e-12 {
+        max_y = min_y + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in fig.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        plot_series(&mut grid, s, glyph, (min_x, max_x), (min_y, max_y));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("# {} — {}\n", fig.id, fig.title));
+    // Legend.
+    for (si, s) in fig.series.iter().enumerate() {
+        out.push_str(&format!("#   {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    // Plot with a y-axis gutter.
+    for (row, line) in grid.iter().enumerate() {
+        let y_val = max_y - (max_y - min_y) * row as f64 / (height - 1) as f64;
+        let label = if row == 0 || row == height - 1 || row == height / 2 {
+            format!("{y_val:>10.1}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>11}{:<w$}{:>8.1}\n",
+        format!("{min_x:.1}"),
+        "",
+        max_x,
+        w = width.saturating_sub(8)
+    ));
+    out.push_str(&format!(
+        "{:>10} x: {}   y: {}\n",
+        "", fig.x_label, fig.y_label
+    ));
+    out
+}
+
+fn plot_series(
+    grid: &mut [Vec<char>],
+    s: &Series,
+    glyph: char,
+    (min_x, max_x): (f64, f64),
+    (min_y, max_y): (f64, f64),
+) {
+    let height = grid.len();
+    let width = grid[0].len();
+    for &(x, y) in &s.points {
+        let cx = ((x - min_x) / (max_x - min_x) * (width - 1) as f64).round() as usize;
+        let cy = ((max_y - y) / (max_y - min_y) * (height - 1) as f64).round() as usize;
+        grid[cy.min(height - 1)][cx.min(width - 1)] = glyph;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Figure, Series};
+
+    fn sample_figure() -> Figure {
+        let mut fig = Figure::new("t", "Test", "load", "latency");
+        let mut a = Series::new("flat");
+        let mut b = Series::new("rising");
+        for i in 0..20 {
+            a.push(i as f64, 100.0);
+            b.push(i as f64, 100.0 + (i as f64).powi(2));
+        }
+        fig.push(a);
+        fig.push(b);
+        fig
+    }
+
+    #[test]
+    fn chart_contains_legend_and_glyphs() {
+        let c = render_chart(&sample_figure(), 40, 12);
+        assert!(c.contains("* flat"));
+        assert!(c.contains("o rising"));
+        assert!(c.contains('*'));
+        assert!(c.contains('o'));
+        assert!(c.contains("x: load"));
+    }
+
+    #[test]
+    fn flat_series_sits_on_bottom_row() {
+        let fig = sample_figure();
+        let c = render_chart(&fig, 40, 12);
+        // The flat series (y = 100 = min) must appear on the lowest plot
+        // row; the rising one reaches the top row.
+        let lines: Vec<&str> = c.lines().collect();
+        let plot_rows: Vec<&&str> = lines.iter().filter(|l| l.contains('|')).collect();
+        assert!(plot_rows.first().unwrap().contains('o'), "top row has max");
+        assert!(
+            plot_rows.last().unwrap().contains('*'),
+            "bottom row has the flat line"
+        );
+    }
+
+    #[test]
+    fn empty_figure_renders_empty() {
+        let fig = Figure::new("e", "Empty", "x", "y");
+        assert_eq!(render_chart(&fig, 40, 10), "");
+    }
+
+    #[test]
+    fn degenerate_single_point_is_safe() {
+        let mut fig = Figure::new("p", "Point", "x", "y");
+        let mut s = Series::new("dot");
+        s.push(5.0, 5.0);
+        fig.push(s);
+        let c = render_chart(&fig, 20, 6);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart width too small")]
+    fn tiny_chart_rejected() {
+        render_chart(&sample_figure(), 4, 10);
+    }
+}

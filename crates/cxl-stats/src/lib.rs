@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Statistics utilities shared across the CXL reproduction workspace.
+//!
+//! This crate bundles the measurement machinery the paper's experiments
+//! rely on:
+//!
+//! * [`Histogram`] — an HDR-style log-bucketed latency histogram used to
+//!   report tail latencies and CDFs (Figs 5(b), 5(c), 8(a)).
+//! * [`dist`] — YCSB-compatible key choosers (Zipfian, scrambled Zipfian,
+//!   latest, uniform) used by the KeyDB experiments (§4.1, §4.3).
+//! * [`Summary`] — streaming mean/variance/min/max accumulator.
+//! * [`report`] — plain-text table and series rendering for the benchmark
+//!   binaries that regenerate the paper's tables and figures.
+//! * [`chart`] — ASCII line charts so figure shapes render in a terminal.
+//! * [`rng`] — deterministic seed derivation so every experiment is
+//!   reproducible from a single root seed.
+
+pub mod chart;
+pub mod dist;
+pub mod histogram;
+pub mod report;
+pub mod rng;
+pub mod summary;
+
+pub use dist::{Exponential, KeyChooser, Latest, Normal, ScrambledZipfian, Uniform, Zipfian};
+pub use histogram::Histogram;
+pub use summary::Summary;

@@ -1,0 +1,230 @@
+//! Plain-text report rendering for table/figure regeneration binaries.
+//!
+//! The bench binaries print the same rows/series the paper reports; this
+//! module gives them a consistent, machine-greppable format and a JSON
+//! escape hatch via `serde`.
+
+use serde::Serialize;
+
+/// A named (x, y) data series, one per curve in a figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label (e.g. `"MMEM 1:0"`).
+    pub label: String,
+    /// Data points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Maximum y value, or `None` when empty.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
+    }
+}
+
+/// A figure: a titled collection of series with axis labels.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Figure identifier, e.g. `"fig3a"`.
+    pub id: String,
+    /// Human title, e.g. `"MMEM loaded latency"`.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Renders the figure as aligned text, one `x y` pair per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.id, self.title));
+        out.push_str(&format!("# x: {}   y: {}\n", self.x_label, self.y_label));
+        for s in &self.series {
+            out.push_str(&format!("## series: {}\n", s.label));
+            for &(x, y) in &s.points {
+                out.push_str(&format!("{x:>14.4} {y:>14.4}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// A simple aligned text table for paper-table regeneration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table identifier, e.g. `"tab3"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row should match `headers` in length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header length.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("# {} — {}\n", self.id, self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            line.push_str(&format!("{h:<w$}  ", w = *w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total.min(120)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, c) in row.iter().enumerate() {
+                line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for report cells.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_max_y() {
+        let mut s = Series::new("a");
+        assert_eq!(s.max_y(), None);
+        s.push(1.0, 5.0);
+        s.push(2.0, 3.0);
+        assert_eq!(s.max_y(), Some(5.0));
+    }
+
+    #[test]
+    fn figure_render_contains_everything() {
+        let mut f = Figure::new("figX", "Title", "load", "latency");
+        let mut s = Series::new("MMEM");
+        s.push(1.0, 97.0);
+        f.push(s);
+        let r = f.render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("Title"));
+        assert!(r.contains("MMEM"));
+        assert!(r.contains("97.0000"));
+    }
+
+    #[test]
+    fn table_alignment_and_rows() {
+        let mut t = Table::new("tabX", "T", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["longer".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("name"));
+        assert!(r.contains("longer"));
+        let lines: Vec<&str> = r.lines().collect();
+        // Header + rule + 2 rows + title line.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("t", "t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_f64_precision_bands() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.1234567), "0.1235");
+        assert_eq!(fmt_f64(12.345), "12.35");
+        assert_eq!(fmt_f64(1234.5), "1234.5");
+    }
+}

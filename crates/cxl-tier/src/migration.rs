@@ -1,0 +1,143 @@
+//! Migration mechanisms: NUMA balancing and hot-page selection.
+//!
+//! Configuration types for the two kernel patches the paper compares
+//! (§2.3). The mechanics live in [`crate::manager::TierManager`]; the
+//! parameters mirror the kernel sysctls.
+
+use serde::{Deserialize, Serialize};
+
+use cxl_sim::SimTime;
+
+/// Which migration mechanism is active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MigrationMode {
+    /// No migrations; pages stay where allocation put them.
+    None,
+    /// The NUMA-balancing patch: latency-aware MRU promotion driven by
+    /// hint faults from page-table scanning.
+    NumaBalancing(NumaBalancingConfig),
+    /// The v6.1 hot-page-selection patch: NUMA balancing plus a
+    /// promotion rate limit and dynamic hot threshold. This is the
+    /// paper's "Hot-Promote" configuration (Table 1).
+    HotPageSelection(HotPageConfig),
+    /// Hot-page selection extended with the bandwidth awareness the
+    /// paper calls for in §5.3: promotion into DRAM is suppressed — and
+    /// load is actively demoted back to CXL — when DRAM bandwidth
+    /// utilization exceeds a watermark, instead of packing hot pages
+    /// into an already-contended top tier.
+    BandwidthAware(BandwidthAwareConfig),
+}
+
+impl MigrationMode {
+    /// True when any promotion mechanism is active.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, MigrationMode::None)
+    }
+}
+
+/// Parameters of the NUMA-balancing scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NumaBalancingConfig {
+    /// Interval between scan passes (kernel: `numa_balancing_scan_period`).
+    pub scan_period: SimTime,
+    /// Pages hinted per scan pass (kernel scans a VA window per pass).
+    pub scan_pages: usize,
+    /// A second hint fault within this window marks the page hot (MRU).
+    pub hot_threshold: SimTime,
+    /// Extra latency charged to an access that takes a hint fault.
+    pub hint_fault_cost: SimTime,
+}
+
+impl Default for NumaBalancingConfig {
+    fn default() -> Self {
+        Self {
+            scan_period: SimTime::from_ms(100),
+            scan_pages: 4096,
+            hot_threshold: SimTime::from_secs(1),
+            hint_fault_cost: SimTime::from_us(2),
+        }
+    }
+}
+
+/// Parameters of hot-page selection (rate-limited promotion).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotPageConfig {
+    /// Base NUMA-balancing scanner parameters.
+    pub balancing: NumaBalancingConfig,
+    /// Promotion rate limit in bytes/second (kernel:
+    /// `numa_balancing_promote_rate_limit_MBps`, default 65536 MB/s is
+    /// effectively unlimited; the paper-relevant regimes are lower).
+    pub promote_rate_limit_bytes_per_sec: f64,
+    /// Enable the automatic hot-threshold adjustment the later patch
+    /// versions added (§4.2.2 finds it "falls short" for Spark).
+    pub dynamic_threshold: bool,
+    /// Interval at which the dynamic threshold is re-evaluated.
+    pub adjust_period: SimTime,
+}
+
+impl Default for HotPageConfig {
+    fn default() -> Self {
+        Self {
+            balancing: NumaBalancingConfig::default(),
+            promote_rate_limit_bytes_per_sec: 256.0 * 1024.0 * 1024.0,
+            dynamic_threshold: true,
+            adjust_period: SimTime::from_secs(1),
+        }
+    }
+}
+
+/// Parameters of the §5.3 bandwidth-aware extension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthAwareConfig {
+    /// Underlying hot-page-selection mechanics.
+    pub base: HotPageConfig,
+    /// DRAM bandwidth utilization above which promotions stop and
+    /// demotion pressure starts (§5.3's example: ~0.7 is already risky).
+    pub high_watermark: f64,
+    /// Utilization below which promotions resume.
+    pub low_watermark: f64,
+    /// Pages demoted per tick while above the high watermark, shifting
+    /// streaming load onto the expander's spare bandwidth.
+    pub demote_batch: usize,
+}
+
+impl Default for BandwidthAwareConfig {
+    fn default() -> Self {
+        Self {
+            base: HotPageConfig::default(),
+            high_watermark: 0.75,
+            low_watermark: 0.60,
+            demote_batch: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_activity() {
+        assert!(!MigrationMode::None.is_active());
+        assert!(MigrationMode::NumaBalancing(NumaBalancingConfig::default()).is_active());
+        assert!(MigrationMode::HotPageSelection(HotPageConfig::default()).is_active());
+        assert!(MigrationMode::BandwidthAware(BandwidthAwareConfig::default()).is_active());
+    }
+
+    #[test]
+    fn bandwidth_aware_defaults_ordered() {
+        let c = BandwidthAwareConfig::default();
+        assert!(c.low_watermark < c.high_watermark);
+        assert!(c.demote_batch > 0);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let nb = NumaBalancingConfig::default();
+        assert!(nb.scan_period > SimTime::ZERO);
+        assert!(nb.scan_pages > 0);
+        let hp = HotPageConfig::default();
+        assert!(hp.promote_rate_limit_bytes_per_sec > 0.0);
+        assert!(hp.dynamic_threshold);
+    }
+}

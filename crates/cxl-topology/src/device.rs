@@ -1,0 +1,181 @@
+//! CXL device and link descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// DDR memory generation/speed, determining per-channel bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DdrGeneration {
+    /// DDR4-3200: 25.6 GB/s per channel.
+    Ddr4_3200,
+    /// DDR5-4800: 38.4 GB/s per channel (the paper's testbed, §3.1).
+    Ddr5_4800,
+    /// DDR5-5600: 44.8 GB/s per channel (A1000 maximum supported speed).
+    Ddr5_5600,
+    /// DDR5-6400: 51.2 GB/s per channel (Emerald Rapids, Table 2).
+    Ddr5_6400,
+}
+
+impl DdrGeneration {
+    /// Theoretical per-channel bandwidth in GB/s.
+    pub fn channel_bandwidth_gbps(self) -> f64 {
+        match self {
+            DdrGeneration::Ddr4_3200 => 25.6,
+            DdrGeneration::Ddr5_4800 => 38.4,
+            DdrGeneration::Ddr5_5600 => 44.8,
+            DdrGeneration::Ddr5_6400 => 51.2,
+        }
+    }
+
+    /// Transfer rate in MT/s.
+    pub fn mega_transfers(self) -> u32 {
+        match self {
+            DdrGeneration::Ddr4_3200 => 3200,
+            DdrGeneration::Ddr5_4800 => 4800,
+            DdrGeneration::Ddr5_5600 => 5600,
+            DdrGeneration::Ddr5_6400 => 6400,
+        }
+    }
+}
+
+/// A PCIe link carrying CXL.io/CXL.mem traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcieLink {
+    /// Per-lane data rate in GT/s (32 for Gen5, 64 for Gen6).
+    pub gts_per_lane: f64,
+    /// Lane count (x4, x8, x16).
+    pub lanes: u32,
+}
+
+impl PcieLink {
+    /// PCIe Gen5 x16 — the A1000 configuration.
+    pub fn gen5_x16() -> Self {
+        Self {
+            gts_per_lane: 32.0,
+            lanes: 16,
+        }
+    }
+
+    /// PCIe Gen6 x16 — used by the §7 forward-looking ablations.
+    pub fn gen6_x16() -> Self {
+        Self {
+            gts_per_lane: 64.0,
+            lanes: 16,
+        }
+    }
+
+    /// Raw unidirectional bandwidth in GB/s (before protocol overhead).
+    ///
+    /// PCIe Gen5 uses 128b/130b encoding; the ~1.5 % encoding loss is
+    /// folded into the controller efficiency factor in `cxl-perf`, so the
+    /// raw figure here is simply `GT/s × lanes / 8`.
+    pub fn raw_bandwidth_gbps(&self) -> f64 {
+        self.gts_per_lane * self.lanes as f64 / 8.0
+    }
+}
+
+/// A CXL 1.1 Type-3 memory expansion device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CxlDevice {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Host-facing PCIe/CXL link.
+    pub link: PcieLink,
+    /// DDR channels behind the controller.
+    pub ddr_channels: usize,
+    /// DDR generation of the backing DIMMs.
+    pub ddr_gen: DdrGeneration,
+    /// Backing capacity in GiB.
+    pub capacity_gib: u64,
+    /// ASIC controller port-to-DRAM idle latency contribution in ns
+    /// (controller pipeline + PCIe PHY round trip), calibrated so a local
+    /// CXL access idles at ≈250 ns (§3.2).
+    pub controller_latency_ns: f64,
+    /// Fraction of raw link bandwidth achievable after CXL/PCIe headers.
+    ///
+    /// The paper measures 73.6 % for the A1000 ASIC versus ~60 % for
+    /// FPGA-based controllers (§3.4).
+    pub link_efficiency: f64,
+}
+
+impl CxlDevice {
+    /// The AsteraLabs Leo A1000 as configured in the paper: Gen5 x16,
+    /// two DDR5-4800 channels populated, 256 GiB.
+    pub fn a1000() -> Self {
+        Self {
+            name: "AsteraLabs A1000".to_string(),
+            link: PcieLink::gen5_x16(),
+            ddr_channels: 2,
+            ddr_gen: DdrGeneration::Ddr5_4800,
+            capacity_gib: 256,
+            // MMEM idles at ~97 ns and CXL at ~250.42 ns, so the
+            // controller + PCIe datapath adds ~153 ns.
+            controller_latency_ns: 153.4,
+            link_efficiency: 0.736,
+        }
+    }
+
+    /// An FPGA-based CXL controller, for the §3.4 ASIC-vs-FPGA comparison:
+    /// same link, lower efficiency and higher latency.
+    pub fn fpga_prototype() -> Self {
+        Self {
+            name: "FPGA prototype".to_string(),
+            link: PcieLink::gen5_x16(),
+            ddr_channels: 2,
+            ddr_gen: DdrGeneration::Ddr5_4800,
+            capacity_gib: 256,
+            controller_latency_ns: 350.0,
+            link_efficiency: 0.60,
+        }
+    }
+
+    /// Effective unidirectional link bandwidth in GB/s after headers.
+    pub fn effective_link_bandwidth_gbps(&self) -> f64 {
+        self.link.raw_bandwidth_gbps() * self.link_efficiency
+    }
+
+    /// Theoretical peak of the backing DDR channels in GB/s.
+    pub fn backing_bandwidth_gbps(&self) -> f64 {
+        self.ddr_gen.channel_bandwidth_gbps() * self.ddr_channels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr_bandwidths() {
+        assert!((DdrGeneration::Ddr5_4800.channel_bandwidth_gbps() - 38.4).abs() < 1e-12);
+        assert_eq!(DdrGeneration::Ddr5_4800.mega_transfers(), 4800);
+        assert!(
+            DdrGeneration::Ddr5_6400.channel_bandwidth_gbps()
+                > DdrGeneration::Ddr4_3200.channel_bandwidth_gbps()
+        );
+    }
+
+    #[test]
+    fn pcie_gen5_x16_is_64_gbps_raw() {
+        let l = PcieLink::gen5_x16();
+        assert!((l.raw_bandwidth_gbps() - 64.0).abs() < 1e-12);
+        assert!((PcieLink::gen6_x16().raw_bandwidth_gbps() - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a1000_matches_paper() {
+        let d = CxlDevice::a1000();
+        assert_eq!(d.capacity_gib, 256);
+        assert_eq!(d.ddr_channels, 2);
+        // 73.6 % of 64 GB/s ≈ 47.1 GB/s per direction (§3.4).
+        let eff = d.effective_link_bandwidth_gbps();
+        assert!((eff - 47.104).abs() < 1e-3, "eff={eff}");
+        assert!((d.backing_bandwidth_gbps() - 76.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpga_is_strictly_worse() {
+        let asic = CxlDevice::a1000();
+        let fpga = CxlDevice::fpga_prototype();
+        assert!(fpga.effective_link_bandwidth_gbps() < asic.effective_link_bandwidth_gbps());
+        assert!(fpga.controller_latency_ns > asic.controller_latency_ns);
+    }
+}

@@ -1,0 +1,95 @@
+//! NUMA nodes as enumerated by the OS.
+
+use serde::{Deserialize, Serialize};
+
+use crate::socket::SocketId;
+
+/// Identifier of a NUMA node (dense, OS enumeration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// The memory tier a NUMA node belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryTier {
+    /// Socket-local DDR (the paper's "MMEM").
+    LocalDram,
+    /// CXL Type-3 expander memory (CPU-less node).
+    CxlExpander,
+}
+
+impl MemoryTier {
+    /// True for the top (fast) tier.
+    pub fn is_top_tier(self) -> bool {
+        matches!(self, MemoryTier::LocalDram)
+    }
+}
+
+/// One NUMA node: a slice of DRAM (possibly an SNC domain) or a CXL device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumaNode {
+    /// Dense node id.
+    pub id: NodeId,
+    /// Owning socket (for CXL nodes, the socket the device hangs off).
+    pub socket: SocketId,
+    /// Memory tier.
+    pub tier: MemoryTier,
+    /// DDR channels feeding this node.
+    pub ddr_channels: usize,
+    /// Capacity in GiB.
+    pub capacity_gib: u64,
+    /// Per-channel theoretical bandwidth in GB/s.
+    pub channel_bw_gbps: f64,
+    /// SNC domain index within the socket (0 when SNC disabled).
+    pub domain_index: usize,
+    /// Index of the CXL device within its socket, for CXL nodes.
+    pub device_index: Option<usize>,
+}
+
+impl NumaNode {
+    /// Theoretical peak bandwidth of this node's DDR channels in GB/s.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.channel_bw_gbps * self.ddr_channels as f64
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_gib * 1024 * 1024 * 1024
+    }
+
+    /// Capacity in 4 KiB pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_bytes() / 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(tier: MemoryTier) -> NumaNode {
+        NumaNode {
+            id: NodeId(0),
+            socket: SocketId(0),
+            tier,
+            ddr_channels: 2,
+            capacity_gib: 128,
+            channel_bw_gbps: 38.4,
+            domain_index: 0,
+            device_index: None,
+        }
+    }
+
+    #[test]
+    fn tier_classification() {
+        assert!(MemoryTier::LocalDram.is_top_tier());
+        assert!(!MemoryTier::CxlExpander.is_top_tier());
+    }
+
+    #[test]
+    fn capacity_conversions() {
+        let n = node(MemoryTier::LocalDram);
+        assert_eq!(n.capacity_bytes(), 128 * (1 << 30));
+        assert_eq!(n.capacity_pages(), 128 * (1 << 30) / 4096);
+        assert!((n.peak_bandwidth_gbps() - 76.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,404 @@
+#![warn(missing_docs)]
+
+//! YCSB workload generation (§4.1.1).
+//!
+//! The paper benchmarks KeyDB with four YCSB workloads at 1 KB record
+//! size: A (50/50 read/update, Zipfian), B (95/5, Zipfian), C (read-only,
+//! Zipfian), and D (95/5 read/insert, latest). This crate produces those
+//! operation streams deterministically.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use cxl_stats::dist::{KeyChooser, Latest, ScrambledZipfian};
+use cxl_stats::rng::stream_rng;
+
+/// The YCSB core workloads. The paper's experiments use A–D; E and F
+/// complete the standard suite (scans and read-modify-write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// 50 % read / 50 % update, Zipfian (update-intensive).
+    A,
+    /// 95 % read / 5 % update, Zipfian (read-heavy).
+    B,
+    /// 100 % read, Zipfian (read-only).
+    C,
+    /// 95 % read / 5 % insert, latest (read newest).
+    D,
+    /// 95 % scan / 5 % insert, Zipfian start keys (short ranges).
+    E,
+    /// 50 % read / 50 % read-modify-write, Zipfian.
+    F,
+}
+
+impl Workload {
+    /// The four workloads the paper evaluates, in paper order.
+    pub fn all() -> [Workload; 4] {
+        [Workload::A, Workload::B, Workload::C, Workload::D]
+    }
+
+    /// The full YCSB core suite including E and F.
+    pub fn extended() -> [Workload; 6] {
+        [
+            Workload::A,
+            Workload::B,
+            Workload::C,
+            Workload::D,
+            Workload::E,
+            Workload::F,
+        ]
+    }
+
+    /// Human label, e.g. `"YCSB-A"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::A => "YCSB-A",
+            Workload::B => "YCSB-B",
+            Workload::C => "YCSB-C",
+            Workload::D => "YCSB-D",
+            Workload::E => "YCSB-E",
+            Workload::F => "YCSB-F",
+        }
+    }
+
+    /// Fraction of operations that are reads (scans count as reads;
+    /// read-modify-writes count as writes).
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            Workload::A | Workload::F => 0.5,
+            Workload::B | Workload::D | Workload::E => 0.95,
+            Workload::C => 1.0,
+        }
+    }
+
+    /// True when the write half inserts new keys (workloads D and E)
+    /// rather than updating existing ones.
+    pub fn writes_insert(self) -> bool {
+        matches!(self, Workload::D | Workload::E)
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read the value of a key.
+    Read(u64),
+    /// Update the value of an existing key.
+    Update(u64),
+    /// Insert a new key.
+    Insert(u64),
+    /// Scan `len` consecutive keys starting at the given key.
+    Scan {
+        /// First key of the range.
+        start: u64,
+        /// Number of keys scanned (YCSB default: uniform in 1..=100).
+        len: u32,
+    },
+    /// Read a key, then write it back (workload F).
+    ReadModifyWrite(u64),
+}
+
+impl Op {
+    /// The (first) key the operation targets.
+    pub fn key(self) -> u64 {
+        match self {
+            Op::Read(k) | Op::Update(k) | Op::Insert(k) | Op::ReadModifyWrite(k) => k,
+            Op::Scan { start, .. } => start,
+        }
+    }
+
+    /// True for operations with a write component.
+    pub fn is_write(self) -> bool {
+        matches!(self, Op::Update(_) | Op::Insert(_) | Op::ReadModifyWrite(_))
+    }
+}
+
+/// Workload generator configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of pre-loaded records.
+    pub record_count: u64,
+    /// Value size in bytes (1 KiB in the paper).
+    pub value_size: u64,
+    /// Root seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            record_count: 1_000_000,
+            value_size: 1024,
+            seed: 42,
+        }
+    }
+}
+
+enum Chooser {
+    Zipf(ScrambledZipfian),
+    Latest(Latest),
+}
+
+/// A deterministic YCSB operation stream.
+pub struct Generator {
+    workload: Workload,
+    cfg: GeneratorConfig,
+    chooser: Chooser,
+    rng: SmallRng,
+    next_insert_key: u64,
+}
+
+impl Generator {
+    /// Creates a generator for a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_count == 0`.
+    pub fn new(workload: Workload, cfg: GeneratorConfig) -> Self {
+        assert!(cfg.record_count > 0, "record count must be positive");
+        let chooser = if workload == Workload::D {
+            Chooser::Latest(Latest::new(cfg.record_count))
+        } else {
+            Chooser::Zipf(ScrambledZipfian::new(cfg.record_count))
+        };
+        Self {
+            workload,
+            cfg,
+            chooser,
+            rng: stream_rng(cfg.seed, &format!("ycsb.{}", workload.label())),
+            next_insert_key: cfg.record_count,
+        }
+    }
+
+    /// The workload this generator produces.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.cfg
+    }
+
+    /// Total keys in existence (grows under workload D inserts).
+    pub fn key_count(&self) -> u64 {
+        self.next_insert_key
+    }
+
+    fn next_key(&mut self) -> u64 {
+        match &mut self.chooser {
+            Chooser::Zipf(z) => z.next_key(&mut self.rng),
+            Chooser::Latest(l) => l.next_key(&mut self.rng),
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let is_read = self.rng.gen::<f64>() < self.workload.read_fraction();
+        if is_read {
+            let key = self.next_key();
+            return match self.workload {
+                Workload::E => Op::Scan {
+                    start: key,
+                    len: self.rng.gen_range(1..=100),
+                },
+                _ => Op::Read(key),
+            };
+        }
+        if self.workload == Workload::F {
+            return Op::ReadModifyWrite(self.next_key());
+        }
+        if self.workload.writes_insert() {
+            let key = self.next_insert_key;
+            self.next_insert_key += 1;
+            if let Chooser::Latest(l) = &mut self.chooser {
+                l.advance();
+            }
+            Op::Insert(key)
+        } else {
+            let key = self.next_key();
+            Op::Update(key)
+        }
+    }
+
+    /// Generates a batch of operations.
+    pub fn batch(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(w: Workload) -> Generator {
+        Generator::new(
+            w,
+            GeneratorConfig {
+                record_count: 100_000,
+                value_size: 1024,
+                seed: 7,
+            },
+        )
+    }
+
+    #[test]
+    fn workload_mixes() {
+        const N: usize = 50_000;
+        for w in Workload::all() {
+            let mut g = gen(w);
+            let reads = g.batch(N).iter().filter(|o| !o.is_write()).count();
+            let frac = reads as f64 / N as f64;
+            assert!(
+                (frac - w.read_fraction()).abs() < 0.02,
+                "{}: observed {frac}",
+                w.label()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_c_is_pure_reads() {
+        let mut g = gen(Workload::C);
+        assert!(g.batch(10_000).iter().all(|o| matches!(o, Op::Read(_))));
+    }
+
+    #[test]
+    fn workload_a_updates_existing_keys() {
+        let mut g = gen(Workload::A);
+        for op in g.batch(10_000) {
+            match op {
+                Op::Read(k) | Op::Update(k) => assert!(k < 100_000),
+                other => panic!("unexpected op in workload A: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn workload_d_inserts_monotonic_keys() {
+        let mut g = gen(Workload::D);
+        let mut last_insert = None;
+        for op in g.batch(20_000) {
+            if let Op::Insert(k) = op {
+                if let Some(prev) = last_insert {
+                    assert_eq!(k, prev + 1);
+                }
+                last_insert = Some(k);
+            }
+        }
+        assert!(last_insert.is_some());
+        assert!(g.key_count() > 100_000);
+    }
+
+    #[test]
+    fn workload_d_reads_prefer_recent() {
+        let mut g = gen(Workload::D);
+        // Warm up with inserts mixed in.
+        g.batch(20_000);
+        let count = g.key_count();
+        let recent_floor = count - count / 20; // Newest 5 %.
+        let reads: Vec<u64> = g
+            .batch(20_000)
+            .into_iter()
+            .filter_map(|o| match o {
+                Op::Read(k) => Some(k),
+                _ => None,
+            })
+            .collect();
+        let recent = reads.iter().filter(|&&k| k >= recent_floor).count();
+        let frac = recent as f64 / reads.len() as f64;
+        assert!(frac > 0.5, "recent-read fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = gen(Workload::A);
+        let mut b = gen(Workload::A);
+        assert_eq!(a.batch(1000), b.batch(1000));
+    }
+
+    #[test]
+    fn different_workloads_use_different_streams() {
+        let mut a = gen(Workload::B);
+        let mut c = gen(Workload::C);
+        let ka: Vec<u64> = a.batch(100).iter().map(|o| o.key()).collect();
+        let kc: Vec<u64> = c.batch(100).iter().map(|o| o.key()).collect();
+        assert_ne!(ka, kc);
+    }
+
+    #[test]
+    fn zipfian_hot_keys_dominate() {
+        let mut g = gen(Workload::C);
+        let ops = g.batch(100_000);
+        let mut counts = std::collections::HashMap::new();
+        for op in &ops {
+            *counts.entry(op.key()).or_insert(0u64) += 1;
+        }
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top_1pct: u64 = freq.iter().take(freq.len() / 100 + 1).sum();
+        let frac = top_1pct as f64 / ops.len() as f64;
+        assert!(frac > 0.2, "top-1% key mass {frac}");
+    }
+
+    #[test]
+    fn workload_e_scans_with_bounded_length() {
+        let mut g = gen(Workload::E);
+        let mut scans = 0;
+        let mut inserts = 0;
+        for op in g.batch(20_000) {
+            match op {
+                Op::Scan { start, len } => {
+                    scans += 1;
+                    assert!(start < g.key_count());
+                    assert!((1..=100).contains(&len));
+                    assert!(!op.is_write());
+                }
+                Op::Insert(_) => inserts += 1,
+                other => panic!("unexpected op in E: {other:?}"),
+            }
+        }
+        assert!(scans > 18_000);
+        assert!(inserts > 500);
+    }
+
+    #[test]
+    fn workload_f_mixes_reads_and_rmw() {
+        let mut g = gen(Workload::F);
+        let mut rmw = 0;
+        for op in g.batch(20_000) {
+            match op {
+                Op::Read(_) => {}
+                Op::ReadModifyWrite(k) => {
+                    rmw += 1;
+                    assert!(k < 100_000);
+                    assert!(op.is_write());
+                }
+                other => panic!("unexpected op in F: {other:?}"),
+            }
+        }
+        let frac = rmw as f64 / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "rmw fraction {frac}");
+    }
+
+    #[test]
+    fn extended_suite_has_six_workloads() {
+        assert_eq!(Workload::extended().len(), 6);
+        assert_eq!(Workload::E.label(), "YCSB-E");
+        assert_eq!(Workload::F.label(), "YCSB-F");
+    }
+
+    #[test]
+    #[should_panic(expected = "record count must be positive")]
+    fn empty_dataset_panics() {
+        Generator::new(
+            Workload::A,
+            GeneratorConfig {
+                record_count: 0,
+                value_size: 1024,
+                seed: 1,
+            },
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Infrastructure planning: Spark cluster consolidation + TCO + revenue.
+//!
+//! Walks the §4.2/§6/§4.3 chain end to end: measure how a Spark TPC-H
+//! workload behaves on a CXL cluster, feed the measured relative
+//! throughputs into the Abstract Cost Model, and evaluate the
+//! elastic-compute revenue opportunity.
+//!
+//! Run with: `cargo run --release --example cluster_planning`
+
+use cxl_repro::cost::{CostModel, RevenueModel};
+use cxl_repro::spark::runner::run_all;
+use cxl_repro::spark::ClusterConfig;
+
+fn main() {
+    // Step 1: measure. Three configurations of the same TPC-H workload.
+    let base = run_all(&ClusterConfig::baseline());
+    let cxl = run_all(&ClusterConfig::cxl_interleave(1, 1));
+    let ssd = run_all(&ClusterConfig::spill(0.6));
+    let total =
+        |rs: &[cxl_repro::spark::QueryResult]| -> f64 { rs.iter().map(|r| r.exec_time_s).sum() };
+    let (t_base, t_cxl, t_ssd) = (total(&base), total(&cxl), total(&ssd));
+    println!("TPC-H Q5+Q7+Q8+Q9 wall time:");
+    println!("  3 servers, all-DRAM:        {t_base:>8.1} s");
+    println!("  2 servers, 1:1 CXL:         {t_cxl:>8.1} s");
+    println!("  3 servers, 40% SSD spill:   {t_ssd:>8.1} s");
+
+    // Step 2: derive cost-model inputs. Throughput ~ 1/time, normalized
+    // to the SSD-spill baseline (Ps = 1).
+    let rd = t_ssd / t_base;
+    let rc = t_ssd / t_cxl;
+    println!("\ncost-model inputs from measurements: Rd = {rd:.2}, Rc = {rc:.2}");
+    let model = CostModel::from_measurements(1.0, rd, rc, 2.0, 1.1);
+    println!(
+        "  -> server count ratio {:.1}%, TCO saving {:.1}%",
+        100.0 * model.server_ratio(),
+        100.0 * model.tco_saving()
+    );
+
+    // Step 3: the elastic-compute side (§4.3).
+    let rev = RevenueModel::paper_example();
+    println!(
+        "\nelastic compute: {} stranded vCPUs per server; selling them as \
+         CXL-backed instances at a {:.0}% discount recovers {:.1}% revenue",
+        rev.stranded_vcpus(),
+        100.0 * rev.cxl_discount,
+        100.0 * rev.revenue_uplift()
+    );
+}

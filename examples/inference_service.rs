@@ -1,0 +1,51 @@
+//! End-to-end inference service (Fig. 9) on the event engine.
+//!
+//! Simulates the HTTP-server → router → CPU-backend stack under rising
+//! request rates and shows how the memory placement changes the service's
+//! SLO envelope: time-to-first-token, p99 request latency, and delivered
+//! tokens/s.
+//!
+//! Run with: `cargo run --release --example inference_service`
+
+use cxl_repro::llm::server::{simulate, ServerConfig};
+use cxl_repro::llm::{LlmCluster, LlmConfig, LlmPlacement};
+
+fn main() {
+    let cluster = LlmCluster::new(LlmConfig::default());
+    let placements = [
+        ("MMEM", LlmPlacement::MmemOnly),
+        ("3:1", LlmPlacement::Interleave { n: 3, m: 1 }),
+        ("1:1", LlmPlacement::Interleave { n: 1, m: 1 }),
+    ];
+
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "place", "req/s", "TTFT p50(s)", "p99 (s)", "tokens/s", "max queue"
+    );
+    for (label, placement) in placements {
+        for rate in [0.2, 0.5, 0.8] {
+            let r = simulate(
+                &cluster,
+                &ServerConfig {
+                    backends: 6,
+                    placement,
+                    arrival_rate: rate,
+                    requests: 600,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "{label:<8} {rate:>8.1} {:>12.2} {:>12.2} {:>12.1} {:>10}",
+                r.ttft.percentile(50.0) as f64 / 1e9,
+                r.latency.percentile(99.0) as f64 / 1e9,
+                r.tokens_per_sec,
+                r.max_queue_depth,
+            );
+        }
+    }
+    println!(
+        "\nAt low request rates MMEM's lower latency wins; once six busy\n\
+         backends saturate the SNC domain's DDR channels, the CXL interleaves\n\
+         hold their token rate and the MMEM-only queue blows up (§5.2)."
+    );
+}

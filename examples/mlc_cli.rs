@@ -1,0 +1,60 @@
+//! An Intel-MLC-style command-line front end over the simulator.
+//!
+//! Prints the same reports the real `mlc` tool produces — idle latency
+//! matrix, peak bandwidth matrix, and a loaded-latency sweep — against
+//! the paper's testbed model, so the §3 methodology can be explored
+//! interactively.
+//!
+//! Run with:
+//! `cargo run --release --example mlc_cli [idle|peak|loaded [read:write]]`
+
+use cxl_repro::mlc::{Mlc, MlcConfig};
+use cxl_repro::perf::{AccessMix, Distance, MemSystem};
+use cxl_repro::topology::{SncMode, Topology};
+
+fn parse_mix(arg: &str) -> AccessMix {
+    AccessMix::parse(arg).unwrap_or_else(|e| {
+        eprintln!("{e}; using 1:0");
+        AccessMix::read_only()
+    })
+}
+
+fn main() {
+    let sys = MemSystem::new(&Topology::paper_testbed(SncMode::Snc4));
+    let mlc = Mlc::new(MlcConfig::default());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("all");
+
+    if mode == "idle" || mode == "all" {
+        println!("{}", mlc.idle_latency_matrix(&sys).render());
+    }
+    if mode == "peak" || mode == "all" {
+        println!("{}", mlc.peak_bandwidth_matrix(&sys).render());
+    }
+    if mode == "loaded" || mode == "all" {
+        let mix = args
+            .get(1)
+            .map(|a| parse_mix(a))
+            .unwrap_or_else(AccessMix::read_only);
+        println!(
+            "Loaded-latency sweep, {} mix (16 delay-injected threads):",
+            mix.label()
+        );
+        println!(
+            "{:>10} {:>14} {:>14}",
+            "inject", "latency (ns)", "bw (GB/s)"
+        );
+        for (d, from, node) in Mlc::distance_endpoints(&sys) {
+            if d != Distance::LocalDram && d != Distance::LocalCxl {
+                continue;
+            }
+            println!("== {} ==", d.label());
+            for p in mlc.loaded_latency(&sys, from, node, mix) {
+                println!(
+                    "{:>10.1} {:>14.1} {:>14.1}",
+                    p.offered_gbps, p.latency_ns, p.bandwidth_gbps
+                );
+            }
+        }
+    }
+}

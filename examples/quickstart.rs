@@ -1,0 +1,52 @@
+//! Quickstart: build the paper's testbed, probe the four access
+//! distances, and estimate the TCO saving of adding CXL memory.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cxl_repro::cost::{CostModel, CostModelParams};
+use cxl_repro::perf::{AccessMix, MemSystem};
+use cxl_repro::topology::{SncMode, SocketId, Topology};
+
+fn main() {
+    // The EuroSys '24 testbed: dual Sapphire Rapids, SNC-4, two
+    // AsteraLabs A1000 CXL expanders on socket 0 (Fig. 2).
+    let topo = Topology::paper_testbed(SncMode::Snc4);
+    println!(
+        "testbed: {} cores, {} GiB DRAM, {} GiB CXL",
+        topo.total_cores(),
+        topo.total_dram_gib(),
+        topo.total_cxl_gib(),
+    );
+    print!("{}", topo.describe());
+
+    // Probe idle latency and peak bandwidth at each access distance.
+    let sys = MemSystem::new(&topo);
+    println!(
+        "\n{:<10} {:>12} {:>16}",
+        "distance", "idle (ns)", "peak (GB/s)"
+    );
+    for (from, node) in [
+        (SocketId(0), 0), // Local DRAM.
+        (SocketId(1), 0), // Remote DRAM.
+        (SocketId(0), 8), // Local CXL.
+        (SocketId(1), 8), // Remote CXL.
+    ] {
+        let node = cxl_repro::topology::NodeId(node);
+        let mix = AccessMix::ratio(2, 1);
+        let d = sys.distance(from, node);
+        println!(
+            "{:<10} {:>12.1} {:>16.1}",
+            d.label(),
+            sys.idle_latency_ns(from, node, AccessMix::read_only()),
+            sys.max_bandwidth_gbps(from, node, mix),
+        );
+    }
+
+    // The Abstract Cost Model (§6) at the Table 3 example values.
+    let model = CostModel::new(CostModelParams::default());
+    println!(
+        "\ncost model: Ncxl/Nbaseline = {:.2}%, TCO saving = {:.2}%",
+        100.0 * model.server_ratio(),
+        100.0 * model.tco_saving()
+    );
+}

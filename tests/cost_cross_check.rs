@@ -1,0 +1,78 @@
+//! Cross-experiment consistency: the §6 cost model fed from the §4.1
+//! simulation's own measurements.
+//!
+//! The paper derives `R_d`/`R_c` from microbenchmarks and plugs them into
+//! the Abstract Cost Model. Here we do the same end to end inside the
+//! reproduction: measure KeyDB throughput with the working set in MMEM,
+//! in CXL, and spilled to SSD, normalize, and check the model yields a
+//! sane consolidation ratio — the full §4→§6 pipeline in one test.
+
+use cxl_repro::core_api::CapacityConfig;
+use cxl_repro::cost::CostModel;
+use cxl_repro::kv::{KvConfig, KvStore, MemProfile};
+use cxl_repro::tier::TierConfig;
+use cxl_repro::topology::{MemoryTier, SncMode, Topology};
+use cxl_repro::ycsb::Workload;
+
+fn throughput_bound_to_cxl() -> f64 {
+    let topo = Topology::paper_testbed(SncMode::Disabled);
+    let cxl = topo
+        .nodes()
+        .iter()
+        .find(|n| n.tier == MemoryTier::CxlExpander)
+        .unwrap()
+        .id;
+    let kv = KvConfig {
+        record_count: 50_000,
+        profile: MemProfile::capacity_strained(),
+        ..Default::default()
+    };
+    let mut store = KvStore::new(&topo, TierConfig::bind(vec![cxl]), kv, false);
+    store.run(Workload::C, 60_000).throughput_ops
+}
+
+fn throughput_of(config: CapacityConfig) -> f64 {
+    use cxl_repro::core_api::experiments::keydb::{run_cell, Fig5Params};
+    run_cell(config, Workload::C, Fig5Params::smoke()).throughput_ops
+}
+
+#[test]
+fn cost_model_from_simulated_measurements_is_sane() {
+    // P_s: throughput with heavy SSD spill; R_d: all-MMEM; R_c: all-CXL.
+    let p_s = throughput_of(CapacityConfig::MmemSsd04);
+    let p_d = throughput_of(CapacityConfig::Mmem);
+    let p_c = throughput_bound_to_cxl();
+
+    // Ordering sanity before modeling.
+    assert!(p_d > p_c, "MMEM {p_d} vs CXL {p_c}");
+    assert!(p_c > p_s, "CXL {p_c} vs SSD {p_s}");
+
+    let model = CostModel::from_measurements(p_s, p_d, p_c, 2.0, 1.1);
+    let ratio = model.server_ratio();
+
+    // The KeyDB regime's SSD gap is milder than the paper's Spark
+    // example (Rd ≈ 2 rather than 10), so the consolidation ratio sits
+    // close to 1...
+    assert!(
+        (0.5..1.0).contains(&ratio),
+        "server ratio {ratio} (Rd {:.2}, Rc {:.2})",
+        p_d / p_s,
+        p_c / p_s
+    );
+    // ...which means the model (correctly) warns that a 10 % server
+    // premium can erase the saving in this regime, while at cost parity
+    // the fewer servers always win. Both conclusions are the §6 model
+    // doing its job on simulated inputs.
+    let at_parity = CostModel::from_measurements(p_s, p_d, p_c, 2.0, 1.0);
+    assert!(at_parity.tco_saving() > 0.0);
+    assert!(
+        model.tco_saving() < at_parity.tco_saving(),
+        "premium must reduce the saving"
+    );
+    assert!(model.tco_saving() < 0.5, "implausibly large saving");
+
+    // Internal consistency: execution times equalize at the ratio.
+    let tb = model.t_baseline(100.0, 10.0, 1.0);
+    let tc = model.t_cxl(100.0, 10.0 * ratio, 1.0);
+    assert!((tb - tc).abs() < 1e-9);
+}
