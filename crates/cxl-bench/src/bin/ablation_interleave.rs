@@ -6,7 +6,7 @@
 //! offload a bandwidth-proportional slice to CXL even when DRAM has
 //! headroom.
 
-use cxl_bench::emit;
+use cxl_bench::{emit, runner_from_args};
 use cxl_llm::{LlmCluster, LlmConfig, LlmPlacement};
 use cxl_stats::report::Table;
 
@@ -26,16 +26,26 @@ fn main() {
             "96 thr",
         ],
     );
-    let mut best: Vec<(usize, u32, f64)> = thread_counts.iter().map(|&t| (t, 10, 0.0)).collect();
+    let mut grid = Vec::new();
     for n in 1..=10u32 {
         let placement = if n == 10 {
             LlmPlacement::MmemOnly
         } else {
             LlmPlacement::Interleave { n, m: 10 - n }
         };
+        for &t in &thread_counts {
+            grid.push((n, placement, t));
+        }
+    }
+    let rates = runner_from_args().map(grid, |(_, placement, t)| {
+        cluster.serving_rate(placement, t).tokens_per_sec
+    });
+
+    let mut best: Vec<(usize, u32, f64)> = thread_counts.iter().map(|&t| (t, 10, 0.0)).collect();
+    for n in 1..=10u32 {
         let mut row = vec![format!("{}0%", n)];
         for (i, &t) in thread_counts.iter().enumerate() {
-            let r = cluster.serving_rate(placement, t).tokens_per_sec;
+            let r = rates[(n as usize - 1) * thread_counts.len() + i];
             row.push(format!("{r:.1}"));
             if r > best[i].2 {
                 best[i] = (t, n, r);

@@ -5,11 +5,11 @@
 //! bandwidth (not just capacity) avoids promoting hot pages into an
 //! already-contended top tier, and sheds load to the expander instead.
 
-use cxl_bench::{emit, shape_line};
-use cxl_core::experiments::balancer::{run, BalancerParams, BalancerPolicy};
+use cxl_bench::{emit, runner_from_args, shape_line};
+use cxl_core::experiments::balancer::{run_with, BalancerParams, BalancerPolicy};
 
 fn main() {
-    let study = run(BalancerParams::default());
+    let study = run_with(&runner_from_args(), BalancerParams::default());
     emit(&study, || {
         let mut out = study.table().render();
         out.push('\n');

@@ -1,12 +1,12 @@
 //! Multi-tenant colocation study: CXL as noisy-neighbor isolation
 //! (see `cxl_core::experiments::colocation`).
 
-use cxl_bench::{emit, shape_line};
-use cxl_core::experiments::colocation::{run, ColocationPlacement};
+use cxl_bench::{emit, runner_from_args, shape_line};
+use cxl_core::experiments::colocation::{run_with, ColocationPlacement};
 
 fn main() {
     let intensities = [25.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0];
-    let study = run(&intensities);
+    let study = run_with(&runner_from_args(), &intensities);
     emit(&study, || {
         let mut out = study.latency_table().render();
         out.push('\n');

@@ -1,13 +1,13 @@
 //! Regenerates Fig. 5: KeyDB YCSB throughput and tail latency across the
 //! Table 1 configurations (§4.1).
 
-use cxl_bench::{emit, figure_text, shape_line};
-use cxl_core::experiments::keydb::{run, Fig5Params};
+use cxl_bench::{emit, figure_text, runner_from_args, shape_line};
+use cxl_core::experiments::keydb::{run_with, Fig5Params};
 use cxl_core::CapacityConfig;
 use cxl_ycsb::Workload;
 
 fn main() {
-    let study = run(Fig5Params::default());
+    let study = run_with(&runner_from_args(), Fig5Params::default());
     emit(&study, || {
         let mut out = String::new();
         out.push_str(&figure_text(&study.fig5a()));

@@ -1,11 +1,11 @@
 //! Regenerates Fig. 7: Spark TPC-H execution time (normalized to MMEM)
 //! and shuffle share across cluster configurations (§4.2).
 
-use cxl_bench::{emit, shape_line};
+use cxl_bench::{emit, runner_from_args, shape_line};
 use cxl_core::experiments::spark;
 
 fn main() {
-    let study = spark::run();
+    let study = spark::run_with(&runner_from_args());
     emit(&study, || {
         let mut out = String::new();
         out.push_str(&study.fig7a().render());

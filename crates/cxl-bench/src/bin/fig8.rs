@@ -1,10 +1,10 @@
 //! Regenerates Fig. 8: KeyDB YCSB-C on CXL-only vs MMEM-only (§4.3).
 
-use cxl_bench::{emit, figure_text, shape_line};
-use cxl_core::experiments::vm::{run, Fig8Params};
+use cxl_bench::{emit, figure_text, runner_from_args, shape_line};
+use cxl_core::experiments::vm::{run_with, Fig8Params};
 
 fn main() {
-    let study = run(Fig8Params::default());
+    let study = run_with(&runner_from_args(), Fig8Params::default());
     emit(&study, || {
         let mut out = String::new();
         out.push_str(&figure_text(&study.fig8a()));

@@ -1,8 +1,8 @@
 //! SLO capacity analysis: max sustainable load under a tail-latency
 //! budget, per memory placement (see `cxl_core::experiments::slo`).
 
-use cxl_bench::emit;
-use cxl_core::experiments::slo::{run, SloParams};
+use cxl_bench::{emit, runner_from_args};
+use cxl_core::experiments::slo::{run_with, SloParams};
 use cxl_core::CapacityConfig;
 use cxl_stats::report::Table;
 
@@ -15,7 +15,7 @@ fn main() {
         CapacityConfig::Interleave13,
         CapacityConfig::HotPromote,
     ];
-    let rows = run(&configs, &params);
+    let rows = run_with(&runner_from_args(), &configs, &params);
 
     let mut headers = vec!["config".to_string()];
     headers.extend(params.rates.iter().map(|r| format!("{:.0}k/s", r / 1e3)));

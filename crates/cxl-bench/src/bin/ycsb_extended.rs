@@ -5,7 +5,7 @@
 //! configurations, showing that scan-heavy workloads feel the CXL
 //! latency gap hardest (every scanned page pays it).
 
-use cxl_bench::emit;
+use cxl_bench::{emit, runner_from_args};
 use cxl_core::experiments::keydb::{run_cell, Fig5Params};
 use cxl_core::CapacityConfig;
 use cxl_stats::report::Table;
@@ -28,12 +28,20 @@ fn main() {
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new("ycsb-extended", "Full YCSB suite across placements", &href);
 
-    let mut slowdowns = Vec::new();
+    let mut grid = Vec::new();
     for w in Workload::extended() {
+        for &c in &configs {
+            grid.push((c, w));
+        }
+    }
+    let cells = runner_from_args().map(grid, |(c, w)| run_cell(c, w, params));
+
+    let mut slowdowns = Vec::new();
+    for (wi, w) in Workload::extended().into_iter().enumerate() {
         let mut row = vec![w.label().to_string()];
         let mut first = None;
-        for &c in &configs {
-            let cell = run_cell(c, w, params);
+        for (ci, &c) in configs.iter().enumerate() {
+            let cell = &cells[wi * configs.len() + ci];
             let kops = cell.throughput_ops / 1e3;
             let base = *first.get_or_insert(kops);
             row.push(format!("{kops:.1}"));

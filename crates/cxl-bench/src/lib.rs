@@ -17,6 +17,44 @@ pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// Builds the experiment runner for a regeneration binary.
+///
+/// Worker count precedence: `--jobs N` (or `--jobs=N`) on the command
+/// line, then the `CXL_JOBS` environment variable, then the machine's
+/// available parallelism. Output is bit-identical for any value.
+pub fn runner_from_args() -> cxl_core::Runner {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let n = if a == "--jobs" {
+            args.next().and_then(|v| v.parse::<usize>().ok())
+        } else {
+            a.strip_prefix("--jobs=")
+                .and_then(|v| v.parse::<usize>().ok())
+        };
+        if let Some(n) = n.filter(|&n| n > 0) {
+            return cxl_core::Runner::new(n);
+        }
+    }
+    cxl_core::Runner::from_env()
+}
+
+/// Reports the `cxl-perf` solve-cache hit rate on stderr.
+///
+/// Goes to stderr so stdout stays byte-comparable between runs at
+/// different `--jobs` values; call it after the study completes in
+/// binaries that drive the analytic solver.
+pub fn report_solve_cache() {
+    let stats = cxl_perf::solve_cache_stats();
+    if stats.hits + stats.misses > 0 {
+        eprintln!(
+            "# solve cache: {} hits, {} misses ({:.1}% hit rate)",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
+        );
+    }
+}
+
 /// True when `--chart` was passed on the command line.
 pub fn chart_mode() -> bool {
     std::env::args().any(|a| a == "--chart")

@@ -32,6 +32,8 @@ use cxl_tier::{
 };
 use cxl_topology::{MemoryTier, NodeId, Topology};
 
+use crate::runner::Runner;
+
 /// The policies compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum BalancerPolicy {
@@ -316,18 +318,32 @@ pub fn run_cell(policy: BalancerPolicy, intensity_gbps: f64, p: BalancerParams) 
     }
 }
 
-/// Runs the full sweep.
+/// Runs the full sweep on the environment-configured runner.
 pub fn run(p: BalancerParams) -> BalancerStudy {
+    run_with(&Runner::from_env(), p)
+}
+
+/// Runs the full sweep on an explicit runner. Each `(policy,
+/// intensity)` cell builds its own tier manager and derives its page
+/// stream from the root seed and the policy label (inside
+/// [`run_cell`]), so the grid parallelizes without any shared state.
+pub fn run_with(runner: &Runner, p: BalancerParams) -> BalancerStudy {
     let intensities = vec![20.0, 40.0, 60.0, 80.0, 100.0];
+    let mut grid = Vec::new();
+    for policy in BalancerPolicy::all() {
+        for &i in &intensities {
+            grid.push((policy, i));
+        }
+    }
+    let cells = runner.map(grid, |(policy, i)| run_cell(policy, i, p));
     let rows = BalancerPolicy::all()
         .into_iter()
-        .map(|policy| {
+        .enumerate()
+        .map(|(r, policy)| {
+            let start = r * intensities.len();
             (
                 policy.label(),
-                intensities
-                    .iter()
-                    .map(|&i| run_cell(policy, i, p))
-                    .collect(),
+                cells[start..start + intensities.len()].to_vec(),
             )
         })
         .collect();

@@ -23,6 +23,8 @@ use cxl_perf::{AccessMix, FlowSpec, MemSystem};
 use cxl_stats::report::Table;
 use cxl_topology::{MemoryTier, NodeId, SncMode, Topology};
 
+use crate::runner::Runner;
+
 /// Where each tenant's memory lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum ColocationPlacement {
@@ -117,8 +119,16 @@ impl ColocationStudy {
 const SERVICE_LOAD_GBPS: f64 = 4.0;
 
 /// Runs the study on one socket of the paper's testbed (SNC disabled:
-/// 8 DDR channels) plus its CXL expanders.
+/// 8 DDR channels) plus its CXL expanders, with the
+/// environment-configured runner.
 pub fn run(intensities: &[f64]) -> ColocationStudy {
+    run_with(&Runner::from_env(), intensities)
+}
+
+/// Runs the study on an explicit runner. The `(placement, intensity)`
+/// grid is flattened into independent analytic solves over one shared
+/// [`MemSystem`].
+pub fn run_with(runner: &Runner, intensities: &[f64]) -> ColocationStudy {
     let topo = Topology::paper_testbed(SncMode::Disabled);
     let sys = MemSystem::new(&topo);
     let nodes = sys.nodes().to_vec();
@@ -143,31 +153,37 @@ pub fn run(intensities: &[f64]) -> ColocationStudy {
         }
     };
 
+    let mut grid = Vec::new();
+    for p in ColocationPlacement::all() {
+        for &intensity in intensities {
+            grid.push((p, intensity));
+        }
+    }
+    let cells = runner.map(grid, |(p, intensity)| {
+        let (service_node, batch_node) = place(p);
+        let flows = [
+            FlowSpec::new(
+                socket,
+                service_node,
+                AccessMix::ratio(3, 1),
+                SERVICE_LOAD_GBPS,
+            ),
+            FlowSpec::new(socket, batch_node, AccessMix::read_only(), intensity),
+        ];
+        let solved = sys.solve(&flows);
+        ColocationCell {
+            batch_offered_gbps: intensity,
+            batch_achieved_gbps: solved.flows[1].achieved_gbps,
+            service_latency_ns: solved.flows[0].latency_ns,
+        }
+    });
+
     let rows = ColocationPlacement::all()
         .into_iter()
-        .map(|p| {
-            let (service_node, batch_node) = place(p);
-            let cells = intensities
-                .iter()
-                .map(|&intensity| {
-                    let flows = [
-                        FlowSpec::new(
-                            socket,
-                            service_node,
-                            AccessMix::ratio(3, 1),
-                            SERVICE_LOAD_GBPS,
-                        ),
-                        FlowSpec::new(socket, batch_node, AccessMix::read_only(), intensity),
-                    ];
-                    let solved = sys.solve(&flows);
-                    ColocationCell {
-                        batch_offered_gbps: intensity,
-                        batch_achieved_gbps: solved.flows[1].achieved_gbps,
-                        service_latency_ns: solved.flows[0].latency_ns,
-                    }
-                })
-                .collect();
-            (p.label(), cells)
+        .enumerate()
+        .map(|(i, p)| {
+            let start = i * intensities.len();
+            (p.label(), cells[start..start + intensities.len()].to_vec())
         })
         .collect();
 

@@ -9,6 +9,7 @@ use cxl_topology::{SncMode, Topology};
 use cxl_ycsb::Workload;
 
 use crate::config::CapacityConfig;
+use crate::runner::Runner;
 
 /// Sizing knobs for the Fig. 5 runs.
 ///
@@ -188,14 +189,28 @@ pub fn run_cell(config: CapacityConfig, workload: Workload, params: Fig5Params) 
     }
 }
 
-/// Runs the full Fig. 5 grid.
+/// Runs the full Fig. 5 grid on the environment-configured runner.
 pub fn run(params: Fig5Params) -> KeydbStudy {
-    let mut cells = Vec::new();
+    run_with(&Runner::from_env(), params)
+}
+
+/// Runs the full Fig. 5 grid on an explicit runner.
+///
+/// Each cell's store is seeded from the root seed and the workload
+/// label: configurations stay paired on one workload trace (the paper
+/// runs the same YCSB stream against every Table 1 configuration), and
+/// the stream is a pure function of the label, so the output is
+/// bit-identical for any worker count.
+pub fn run_with(runner: &Runner, params: Fig5Params) -> KeydbStudy {
+    let mut grid = Vec::new();
     for config in CapacityConfig::all() {
         for workload in Workload::all() {
-            cells.push(run_cell(config, workload, params));
+            grid.push((format!("fig5/{}", workload.label()), (config, workload)));
         }
     }
+    let cells = runner.map_seeded(params.seed, grid, |(config, workload), seed| {
+        run_cell(config, workload, Fig5Params { seed, ..params })
+    });
     KeydbStudy { cells, params }
 }
 

@@ -7,6 +7,8 @@ use cxl_perf::{AccessMix, Distance, MemSystem, Pattern};
 use cxl_stats::report::Figure;
 use cxl_topology::{SncMode, Topology};
 
+use crate::runner::Runner;
+
 /// Output of the §3 characterization.
 #[derive(Debug, Clone, Serialize)]
 pub struct LatencyStudy {
@@ -41,26 +43,35 @@ pub struct LatencySummary {
     pub cxl_remote_peak_gbps: f64,
 }
 
-/// Runs the full §3 characterization on the paper's SNC-4 testbed.
+/// Runs the full §3 characterization on the paper's SNC-4 testbed with
+/// the environment-configured runner.
 pub fn run() -> LatencyStudy {
+    run_with(&Runner::from_env())
+}
+
+/// Runs the full §3 characterization on an explicit runner. Panels are
+/// independent analytic sweeps over one shared [`MemSystem`].
+pub fn run_with(runner: &Runner) -> LatencyStudy {
     let sys = MemSystem::new(&Topology::paper_testbed(SncMode::Snc4));
     let mlc = Mlc::new(MlcConfig::default());
 
-    let distances = [
+    let distances = vec![
         Distance::LocalDram,
         Distance::RemoteDram,
         Distance::LocalCxl,
         Distance::RemoteCxl,
     ];
-    let fig3 = distances.iter().map(|&d| mlc.fig3_panel(&sys, d)).collect();
-    let fig4 = Mlc::paper_mixes()
-        .into_iter()
-        .map(|m| mlc.fig4_panel(&sys, m))
-        .collect();
-    let fig4_random = vec![
-        mlc.fig4_panel(&sys, AccessMix::read_only().with_pattern(Pattern::Random)),
-        mlc.fig4_panel(&sys, AccessMix::write_only().with_pattern(Pattern::Random)),
-    ];
+    let fig3 = runner.map(distances, |d| mlc.fig3_panel(&sys, d));
+    let fig4 = runner.map(Mlc::paper_mixes().into_iter().collect(), |m| {
+        mlc.fig4_panel(&sys, m)
+    });
+    let fig4_random = runner.map(
+        vec![
+            AccessMix::read_only().with_pattern(Pattern::Random),
+            AccessMix::write_only().with_pattern(Pattern::Random),
+        ],
+        |m| mlc.fig4_panel(&sys, m),
+    );
 
     let endpoints = Mlc::distance_endpoints(&sys);
     let ep = |d: Distance| {

@@ -5,6 +5,8 @@ use serde::Serialize;
 use cxl_llm::{LlmCluster, LlmConfig, LlmPlacement, ServingPoint};
 use cxl_stats::report::{Figure, Series};
 
+use crate::runner::Runner;
+
 /// The thread counts swept in Fig. 10(a).
 pub fn thread_axis() -> Vec<usize> {
     (1..=8).map(|b| b * 12).collect()
@@ -96,23 +98,26 @@ impl LlmStudy {
     }
 }
 
-/// Runs the Fig. 10 sweeps on the §5.1 platform.
+/// Runs the Fig. 10 sweeps on the §5.1 platform with the
+/// environment-configured runner.
 pub fn run() -> LlmStudy {
+    run_with(&Runner::from_env())
+}
+
+/// Runs the Fig. 10 sweeps on an explicit runner. All three sweeps are
+/// analytic; the placement sweep (the expensive one) parallelizes per
+/// placement, the single-backend scans per point.
+pub fn run_with(runner: &Runner) -> LlmStudy {
     let cluster = LlmCluster::new(LlmConfig::default());
     let axis = thread_axis();
-    let serving = placements()
-        .into_iter()
-        .map(|p| (p.label(), cluster.sweep(p, &axis)))
-        .collect();
-    let backend_bw = (1..=32)
-        .map(|t| (t, cluster.backend_bandwidth_gbps(t)))
-        .collect();
-    let kv_bw = (0..=40)
-        .map(|i| {
-            let kv = i as f64 * 0.2;
-            (kv, cluster.kv_bandwidth_gbps(kv))
-        })
-        .collect();
+    let serving = runner.map(placements(), |p| (p.label(), cluster.sweep(p, &axis)));
+    let backend_bw = runner.map((1..=32).collect(), |t| {
+        (t, cluster.backend_bandwidth_gbps(t))
+    });
+    let kv_bw = runner.map((0..=40).collect(), |i: usize| {
+        let kv = i as f64 * 0.2;
+        (kv, cluster.kv_bandwidth_gbps(kv))
+    });
     LlmStudy {
         serving,
         backend_bw,

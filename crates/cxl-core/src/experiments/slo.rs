@@ -13,6 +13,7 @@ use cxl_topology::{SncMode, Topology};
 use cxl_ycsb::Workload;
 
 use crate::config::CapacityConfig;
+use crate::runner::Runner;
 
 /// Sizing of an SLO study.
 #[derive(Debug, Clone, Serialize)]
@@ -102,9 +103,18 @@ pub fn probe(config: CapacityConfig, params: &SloParams) -> SloRow {
     }
 }
 
-/// Runs the study for a set of placements.
+/// Runs the study for a set of placements on the
+/// environment-configured runner.
 pub fn run(configs: &[CapacityConfig], params: &SloParams) -> Vec<SloRow> {
-    configs.iter().map(|&c| probe(c, params)).collect()
+    run_with(&Runner::from_env(), configs, params)
+}
+
+/// Runs the study on an explicit runner. Every placement probes the
+/// same workload trace (shared seed): capacity is compared across
+/// placements at fixed load, so the cells stay paired and each probe is
+/// an independent cell.
+pub fn run_with(runner: &Runner, configs: &[CapacityConfig], params: &SloParams) -> Vec<SloRow> {
+    runner.map(configs.to_vec(), |c| probe(c, params))
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@ use cxl_spark::runner::run_all;
 use cxl_spark::{ClusterConfig, QueryResult};
 use cxl_stats::report::{fmt_f64, Table};
 
+use crate::runner::Runner;
+
 /// The Fig. 7 study: every configuration × query.
 #[derive(Debug, Clone, Serialize)]
 pub struct SparkStudy {
@@ -27,12 +29,17 @@ pub fn paper_configs() -> Vec<ClusterConfig> {
     ]
 }
 
-/// Runs every configuration over Q5/Q7/Q8/Q9.
+/// Runs every configuration over Q5/Q7/Q8/Q9 on the
+/// environment-configured runner.
 pub fn run() -> SparkStudy {
-    let configs = paper_configs()
-        .into_iter()
-        .map(|c| (c.placement.label(), run_all(&c)))
-        .collect();
+    run_with(&Runner::from_env())
+}
+
+/// Runs every configuration over Q5/Q7/Q8/Q9 on an explicit runner.
+/// The query model is analytic (no randomness), so each configuration
+/// is an independent cell.
+pub fn run_with(runner: &Runner) -> SparkStudy {
+    let configs = runner.map(paper_configs(), |c| (c.placement.label(), run_all(&c)));
     SparkStudy { configs }
 }
 

@@ -16,6 +16,8 @@ use cxl_tier::TierConfig;
 use cxl_topology::{MemoryTier, SncMode, Topology};
 use cxl_ycsb::Workload;
 
+use crate::runner::Runner;
+
 /// Sizing knobs for the Fig. 8 runs.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct Fig8Params {
@@ -163,11 +165,23 @@ fn run_binding(topo: &Topology, on_cxl: bool, params: Fig8Params) -> (f64, Histo
     (r.throughput_ops, r.read_latency)
 }
 
-/// Runs the Fig. 8 comparison and the §4.3 revenue arithmetic.
+/// Runs the Fig. 8 comparison and the §4.3 revenue arithmetic on the
+/// environment-configured runner.
 pub fn run(params: Fig8Params) -> VmStudy {
+    run_with(&Runner::from_env(), params)
+}
+
+/// Runs the Fig. 8 comparison on an explicit runner. Both bindings
+/// deliberately replay the same seed — the experiment compares one
+/// workload trace across placements — so the cells are independent and
+/// the paired comparison survives parallel execution bit-for-bit.
+pub fn run_with(runner: &Runner, params: Fig8Params) -> VmStudy {
     let topo = Topology::paper_testbed(SncMode::Disabled);
-    let (mmem_throughput, mmem_latency) = run_binding(&topo, false, params);
-    let (cxl_throughput, cxl_latency) = run_binding(&topo, true, params);
+    let mut results = runner.map(vec![false, true], |on_cxl| {
+        run_binding(&topo, on_cxl, params)
+    });
+    let (cxl_throughput, cxl_latency) = results.pop().expect("CXL binding ran");
+    let (mmem_throughput, mmem_latency) = results.pop().expect("MMEM binding ran");
     VmStudy {
         mmem_throughput,
         cxl_throughput,

@@ -13,6 +13,11 @@
 //!   figures/tables the bench binaries print and that the integration
 //!   tests assert shape properties on.
 //!
+//! Experiment grids execute on a [`runner::Runner`] worker pool; the
+//! `CXL_JOBS` environment variable (or an explicit
+//! [`runner::Runner::new`]) bounds the parallelism, and output is
+//! bit-identical across worker counts.
+//!
 //! # Examples
 //!
 //! ```
@@ -24,5 +29,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod runner;
 
 pub use config::CapacityConfig;
+pub use runner::Runner;

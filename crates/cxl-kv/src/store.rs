@@ -489,7 +489,10 @@ impl KvStore {
             let op = generator.next_op();
             arrival_s += interarrival.sample(&mut arrival_rng);
             let arrival = SimTime::from_secs_f64(arrival_s);
-            self.now = arrival;
+            // `self.now` is the tiering clock; keep it monotone. Epoch
+            // refreshes below advance it to a completion time, which can
+            // lie past the next arrival.
+            self.now = self.now.max(arrival);
             let (service_ns, hit_ssd) = self.service_op(op);
             let completion = servers.submit(arrival, SimTime::from_ns_f64(service_ns));
             let sojourn = completion.sojourn(arrival).as_ns();
@@ -501,7 +504,7 @@ impl KvStore {
                 ssd_hits += 1;
             }
             if (i + 1) % self.cfg.epoch_ops == 0 {
-                self.now = completion.finish.max(arrival);
+                self.now = self.now.max(completion.finish);
                 self.refresh_epoch();
             }
         }
@@ -551,7 +554,11 @@ impl KvStore {
             let op = generator.next_op();
             let client = (i as usize) % clients.len();
             let arrival = clients[client].max(start);
-            self.now = arrival;
+            // Concurrent clients complete out of order, so one client's
+            // arrival can precede another's completion. `self.now` is
+            // the tiering clock and must stay monotone: the tier
+            // manager's rate limiter and recency tracking observe it.
+            self.now = self.now.max(arrival);
             let (service_ns, hit_ssd) = self.service_op(op);
             let completion = servers.submit(arrival, SimTime::from_ns_f64(service_ns));
             clients[client] = completion.finish;
@@ -564,7 +571,7 @@ impl KvStore {
                 ssd_hits += 1;
             }
             if (i + 1) % self.cfg.epoch_ops == 0 {
-                self.now = completion.finish;
+                self.now = self.now.max(completion.finish);
                 self.refresh_epoch();
             }
         }

@@ -38,6 +38,7 @@ pub mod tuning;
 pub use curve::QueueModel;
 pub use mix::{AccessMix, Pattern};
 pub use system::{
-    Distance, FlowOutcome, FlowSpec, LatencyBreakdown, MemSystem, ResourceKind, SolveResult,
+    solve_cache_reset, solve_cache_stats, Distance, FlowOutcome, FlowSpec, LatencyBreakdown,
+    MemSystem, ResourceKind, SolveCacheStats, SolveResult,
 };
 pub use tuning::PerfTuning;

@@ -174,6 +174,105 @@ impl SolveResult {
     }
 }
 
+/// Hit/miss counters of the process-wide solve cache (see
+/// [`solve_cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SolveCacheStats {
+    /// Solves answered from the cache.
+    pub hits: u64,
+    /// Solves computed by the water-filling solver.
+    pub misses: u64,
+}
+
+impl SolveCacheStats {
+    /// Fraction of solves answered from the cache (0.0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Exact cache identity of one flow.
+///
+/// The f64 fields are keyed by their canonicalized bit patterns rather
+/// than a coarser rounding: collapsing nearly-equal inputs onto one
+/// entry would make a solve's result depend on which variant was
+/// computed first, breaking the bit-identical parallel/serial guarantee
+/// the experiment runner relies on. Canonicalization only merges
+/// `-0.0` with `+0.0`, which the solver cannot distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FlowKey {
+    from: usize,
+    node: usize,
+    read_fraction: u64,
+    nt_writes: bool,
+    random_pattern: bool,
+    offered: u64,
+}
+
+fn canon_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0
+    } else {
+        x.to_bits()
+    }
+}
+
+impl FlowKey {
+    fn of(f: &FlowSpec) -> FlowKey {
+        FlowKey {
+            from: f.from.0,
+            node: f.node.0,
+            read_fraction: canon_bits(f.mix.read_fraction),
+            nt_writes: f.mix.nt_writes,
+            random_pattern: f.mix.pattern == crate::mix::Pattern::Random,
+            offered: canon_bits(f.offered_gbps),
+        }
+    }
+}
+
+/// Cache key: which model solved which ordered flow set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SolveKey {
+    fingerprint: u64,
+    flows: Vec<FlowKey>,
+}
+
+/// Entry bound: past this the cache stops inserting (sweeps that large
+/// repeat little; dropping inserts is cheaper than eviction and keeps
+/// lookups deterministic).
+const SOLVE_CACHE_CAP: usize = 1 << 16;
+
+static SOLVE_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static SOLVE_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn solve_cache() -> &'static std::sync::Mutex<HashMap<SolveKey, SolveResult>> {
+    static CACHE: std::sync::OnceLock<std::sync::Mutex<HashMap<SolveKey, SolveResult>>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| std::sync::Mutex::new(HashMap::new()))
+}
+
+/// Snapshot of the process-wide [`MemSystem::solve`] cache counters.
+pub fn solve_cache_stats() -> SolveCacheStats {
+    SolveCacheStats {
+        hits: SOLVE_HITS.load(std::sync::atomic::Ordering::Relaxed),
+        misses: SOLVE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
+/// Clears the solve cache and zeroes its counters (for measurements and
+/// tests that need a cold start).
+pub fn solve_cache_reset() {
+    let mut cache = solve_cache().lock().expect("solve cache poisoned");
+    cache.clear();
+    SOLVE_HITS.store(0, std::sync::atomic::Ordering::Relaxed);
+    SOLVE_MISSES.store(0, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// A segment of a flow's path: a resource plus the bytes it carries per
 /// payload byte of the flow.
 #[derive(Debug, Clone, Copy)]
@@ -201,6 +300,10 @@ pub struct MemSystem {
     /// Per-CXL-node device parameters (controller latency, efficiencies).
     cxl_params: HashMap<NodeId, CxlNodeParams>,
     sockets: Vec<SocketId>,
+    /// Structural fingerprint keying the process-wide solve cache:
+    /// systems built from identical topologies and tunings share cache
+    /// entries, distinct models never collide.
+    fingerprint: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -319,13 +422,34 @@ impl MemSystem {
             }
         }
 
+        let cxl_remote_extra_ns = calib::CXL_REMOTE_READ_IDLE_NS - calib::CXL_READ_IDLE_NS;
+        let fingerprint = {
+            use std::hash::{Hash, Hasher};
+            // Debug formatting gives every f64 its shortest exact
+            // representation, so two models hash alike only when every
+            // capacity, queue parameter, and latency agrees exactly.
+            // The one unordered container is hashed in sorted order.
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            format!("{nodes:?}").hash(&mut h);
+            format!("{resources:?}").hash(&mut h);
+            cxl_remote_extra_ns.to_bits().hash(&mut h);
+            let mut params: Vec<(usize, String)> = cxl_params
+                .iter()
+                .map(|(id, p)| (id.0, format!("{p:?}")))
+                .collect();
+            params.sort();
+            format!("{params:?}").hash(&mut h);
+            format!("{sockets:?}").hash(&mut h);
+            h.finish()
+        };
         Self {
             nodes,
             resources,
             index,
-            cxl_remote_extra_ns: calib::CXL_REMOTE_READ_IDLE_NS - calib::CXL_READ_IDLE_NS,
+            cxl_remote_extra_ns,
             cxl_params,
             sockets,
+            fingerprint,
         }
     }
 
@@ -495,8 +619,34 @@ impl MemSystem {
     }
 
     /// Solves a set of concurrent flows with max-min water-filling.
+    ///
+    /// Results are memoized in a process-wide cache keyed on the
+    /// system's structural fingerprint and the exact flow set, so
+    /// repeated operating points across sweeps (e.g. the shared cells
+    /// of the Fig. 3 and Fig. 4 panels) solve once. A cached result is
+    /// the value the solver produced for that exact key, so caching is
+    /// invisible to output — including under parallel execution.
     pub fn solve(&self, flows: &[FlowSpec]) -> SolveResult {
-        self.solve_internal(flows).0
+        use std::sync::atomic::Ordering;
+        let key = SolveKey {
+            fingerprint: self.fingerprint,
+            flows: flows.iter().map(FlowKey::of).collect(),
+        };
+        if let Some(hit) = solve_cache()
+            .lock()
+            .expect("solve cache poisoned")
+            .get(&key)
+        {
+            SOLVE_HITS.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let result = self.solve_internal(flows).0;
+        SOLVE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let mut cache = solve_cache().lock().expect("solve cache poisoned");
+        if cache.len() < SOLVE_CACHE_CAP {
+            cache.insert(key, result.clone());
+        }
+        result
     }
 
     fn solve_internal(&self, flows: &[FlowSpec]) -> (SolveResult, Vec<f64>, Vec<f64>, Vec<Path>) {

@@ -39,6 +39,17 @@ impl TokenBucket {
     }
 
     fn refill(&mut self, now: SimTime) {
+        // Virtual time must not run backwards: a caller observing the
+        // bucket at an earlier instant than a previous observation is a
+        // simulation-ordering bug, and silently ignoring it would let
+        // the bucket answer with state from the caller's future. Debug
+        // builds fail loudly; release builds keep the old clamping
+        // behavior (no refill, `last` unchanged).
+        debug_assert!(
+            now >= self.last,
+            "token bucket observed time regression: now {now:?} < last {last:?}",
+            last = self.last,
+        );
         if now > self.last {
             let dt = (now - self.last).as_secs_f64();
             self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
@@ -131,5 +142,25 @@ mod tests {
     #[should_panic(expected = "invalid rate")]
     fn zero_rate_panics() {
         TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert-only check")]
+    #[should_panic(expected = "time regression")]
+    fn time_regression_is_rejected_in_debug() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        assert!(b.try_take(SimTime::from_ms(10), 1.0));
+        // Observing the bucket before the last refill must trip the
+        // regression check.
+        b.try_take(SimTime::from_ms(5), 1.0);
+    }
+
+    #[test]
+    fn equal_timestamps_are_fine() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        let t = SimTime::from_ms(10);
+        assert!(b.try_take(t, 1.0));
+        assert!(b.try_take(t, 1.0));
+        assert!((b.available(t) - 48.0).abs() < 1e-9);
     }
 }

@@ -37,12 +37,15 @@ pub fn render_chart(fig: &Figure, width: usize, height: usize) -> String {
     if !min_x.is_finite() {
         return String::new();
     }
-    // Degenerate ranges widen to a unit band.
+    // Degenerate ranges widen symmetrically to a unit band, so a flat
+    // series or single point sits centered instead of pinned to an edge.
     if (max_x - min_x).abs() < 1e-12 {
-        max_x = min_x + 1.0;
+        min_x -= 0.5;
+        max_x += 0.5;
     }
     if (max_y - min_y).abs() < 1e-12 {
-        max_y = min_y + 1.0;
+        min_y -= 0.5;
+        max_y += 0.5;
     }
 
     let mut grid = vec![vec![' '; width]; height];
@@ -97,9 +100,21 @@ fn plot_series(
 ) {
     let height = grid.len();
     let width = grid[0].len();
+    // A zero span would divide to NaN, and `NaN as usize` lands every
+    // point in the top-left cell; center such points instead.
+    let span_x = max_x - min_x;
+    let span_y = max_y - min_y;
     for &(x, y) in &s.points {
-        let cx = ((x - min_x) / (max_x - min_x) * (width - 1) as f64).round() as usize;
-        let cy = ((max_y - y) / (max_y - min_y) * (height - 1) as f64).round() as usize;
+        let cx = if span_x.abs() < 1e-12 || !span_x.is_finite() {
+            (width - 1) / 2
+        } else {
+            ((x - min_x) / span_x * (width - 1) as f64).round() as usize
+        };
+        let cy = if span_y.abs() < 1e-12 || !span_y.is_finite() {
+            (height - 1) / 2
+        } else {
+            ((max_y - y) / span_y * (height - 1) as f64).round() as usize
+        };
         grid[cy.min(height - 1)][cx.min(width - 1)] = glyph;
     }
 }
@@ -161,6 +176,38 @@ mod tests {
         fig.push(s);
         let c = render_chart(&fig, 20, 6);
         assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn degenerate_single_point_is_centered() {
+        let mut fig = Figure::new("p", "Point", "x", "y");
+        let mut s = Series::new("dot");
+        s.push(5.0, 5.0);
+        fig.push(s);
+        let c = render_chart(&fig, 21, 7);
+        let plot_rows: Vec<&str> = c.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(plot_rows.len(), 7);
+        let (row, line) = plot_rows
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.contains('*'))
+            .expect("glyph plotted");
+        // Middle row, middle column of the 21×7 plot area.
+        assert_eq!(row, 3, "vertically centered: {c}");
+        let col = line.find('*').unwrap() - line.find('|').unwrap() - 1;
+        assert_eq!(col, 10, "horizontally centered: {c}");
+    }
+
+    #[test]
+    fn degenerate_span_does_not_misplot_to_origin() {
+        // Drive plot_series directly with a zero span: points must land
+        // in the center cell, not the NaN-cast top-left corner.
+        let mut grid = vec![vec![' '; 11]; 5];
+        let mut s = Series::new("z");
+        s.push(3.0, 7.0);
+        plot_series(&mut grid, &s, '*', (3.0, 3.0), (7.0, 7.0));
+        assert_eq!(grid[2][5], '*');
+        assert_eq!(grid[0][0], ' ');
     }
 
     #[test]

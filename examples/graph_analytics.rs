@@ -30,7 +30,8 @@ fn build_graph(vertices: usize, page_size: u64, rng_seed: u64) -> Graph {
     let mut next_page = 0usize;
     for rank in 0..vertices {
         // Degree in edges; 8 bytes per edge.
-        let degree = (200_000.0 / ((rank + 1) as f64).powf(0.8)) as usize + rng.gen_range(1..32);
+        let degree =
+            (200_000.0 / ((rank + 1) as f64).powf(0.8)) as usize + rng.gen_range(1usize..32);
         let bytes = degree as u64 * 8;
         let pages = bytes.div_ceil(page_size).max(1) as usize;
         vertex_pages.push((next_page, pages));

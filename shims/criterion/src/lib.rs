@@ -1,0 +1,166 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container cannot reach crates.io; this crate lets the
+//! workspace's `[[bench]]` targets compile and run without the real
+//! statistical harness. Each `bench_function` runs a short calibrated
+//! loop and prints the mean wall-clock time per iteration. When the
+//! binary is invoked with `--test` (as `cargo test` does for bench
+//! targets), benchmarks run exactly one iteration as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings carried by groups (subset of the real API).
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The bench harness handle passed to registered bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("# group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: Settings::default(),
+        }
+    }
+
+    /// Registers a benchmark outside any group. Accepts `&str` or
+    /// `String` ids like the real API's `IntoBenchmarkId`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_bench(id.as_ref(), Settings::default(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Registers a benchmark in the group. Accepts `&str` or `String`
+    /// ids like the real API's `IntoBenchmarkId`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.as_ref()), self.settings, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the closure registered per benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the harness-chosen iteration count.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F) {
+    if test_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {id} ... ok (1 iter smoke)");
+        return;
+    }
+    // Calibrate: one timed iteration decides how many fit the window.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget = settings.measurement_time;
+    let iters = (budget.as_secs_f64() / per_iter.as_secs_f64())
+        .clamp(1.0, settings.sample_size as f64 * 10.0) as u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / iters as f64;
+    println!(
+        "bench {id:<48} {:>12.3} ms/iter ({iters} iters)",
+        mean * 1e3
+    );
+}
+
+/// Registers bench functions under a group name (compatible macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the registered groups (compatible macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors a minimal serde that serializes through a JSON
+//! `Value` tree. This proc-macro derives that crate's `Serialize` /
+//! `Deserialize` traits for the plain structs and enums the workspace
+//! uses. Supported shapes: unit/tuple/named structs and enums with
+//! unit, tuple, and struct variants (externally tagged, like serde's
+//! default). Generics and `#[serde(...)]` attributes are not supported
+//! — the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: optional name (None for tuple fields) plus the
+/// flat text of its type (used only to special-case `Option`).
+struct Field {
+    name: Option<String>,
+    ty: String,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Consumes leading attributes (`#[...]`) and visibility modifiers.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == '#' {
+                    i += 2; // '#' + bracket group
+                    continue;
+                }
+            }
+            if is_ident(&toks[i], "pub") {
+                i += 1;
+                // `pub(crate)` / `pub(in ...)`
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+/// Splits the tokens of a field list on top-level commas, tracking
+/// `<...>` depth so generic arguments do not split fields.
+fn split_top_level(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn tokens_to_type_string(toks: &[TokenTree]) -> String {
+    toks.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level(&toks)
+        .into_iter()
+        .filter_map(|field_toks| {
+            let start = skip_attrs_and_vis(&field_toks, 0);
+            let name = match field_toks.get(start) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            // Skip the ':' and keep the type tokens.
+            let ty = tokens_to_type_string(&field_toks[start + 2..]);
+            Some(Field {
+                name: Some(name),
+                ty,
+            })
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level(&toks)
+        .into_iter()
+        .map(|field_toks| {
+            let start = skip_attrs_and_vis(&field_toks, 0);
+            Field {
+                name: None,
+                ty: tokens_to_type_string(&field_toks[start..]),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level(&toks)
+        .into_iter()
+        .filter_map(|var_toks| {
+            let start = skip_attrs_and_vis(&var_toks, 0);
+            let name = match var_toks.get(start) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            let shape = match var_toks.get(start + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                // Unit variant, possibly with `= discriminant` (ignored).
+                _ => Shape::Unit,
+            };
+            Some(Variant { name, shape })
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!(
+            "serde shim derive: expected `struct` or `enum`, got {:?}",
+            toks[i].to_string()
+        );
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!(
+            "serde shim derive: expected type name, got {:?}",
+            t.to_string()
+        ),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    if is_enum {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            _ => panic!("serde shim derive: malformed enum `{name}`"),
+        };
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    } else {
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        Item::Struct { name, shape }
+    }
+}
+
+fn is_option(ty: &str) -> bool {
+    let t = ty.replace(' ', "");
+    t.starts_with("Option<")
+        || t.starts_with("std::option::Option<")
+        || t.starts_with("core::option::Option<")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = (0..fields.len())
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let pushes: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let n = f.name.as_ref().unwrap();
+                            format!(
+                                "(String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", pushes.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(fields) if fields.len() == 1 => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(fields) => {
+                            let binds: Vec<String> =
+                                (0..fields.len()).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .map(|f| f.name.clone().unwrap())
+                                .collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("(String::from(\"{b}\"), ::serde::Serialize::to_value({b}))"))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Object(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = (0..fields.len())
+                        .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let arr = v.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for {name}\"))?;\n\
+                           if arr.len() != {n} {{ return Err(::serde::Error::new(\"wrong tuple arity for {name}\")); }}\n\
+                           Ok({name}({items})) }}",
+                        n = fields.len(),
+                        items = items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let n = f.name.as_ref().unwrap();
+                            if is_option(&f.ty) {
+                                format!("{n}: ::serde::field_opt(obj, \"{n}\")?")
+                            } else {
+                                format!("{n}: ::serde::field(obj, \"{n}\")?")
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "{{ let obj = v.as_object().ok_or_else(|| ::serde::Error::new(\"expected object for {name}\"))?;\n\
+                           Ok({name} {{ {items} }}) }}",
+                        items = items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(fields) if fields.len() == 1 => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Shape::Tuple(fields) => {
+                            let items: Vec<String> = (0..fields.len())
+                                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let arr = inner.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for {name}::{vn}\"))?;\n\
+                                   if arr.len() != {n} {{ return Err(::serde::Error::new(\"wrong arity for {name}::{vn}\")); }}\n\
+                                   Ok({name}::{vn}({items})) }}",
+                                n = fields.len(),
+                                items = items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let n = f.name.as_ref().unwrap();
+                                    if is_option(&f.ty) {
+                                        format!("{n}: ::serde::field_opt(obj, \"{n}\")?")
+                                    } else {
+                                        format!("{n}: ::serde::field(obj, \"{n}\")?")
+                                    }
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let obj = inner.as_object().ok_or_else(|| ::serde::Error::new(\"expected object for {name}::{vn}\"))?;\n\
+                                   Ok({name}::{vn} {{ {items} }}) }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {units}\n\
+                                 other => Err(::serde::Error::new(&format!(\"unknown variant {{other}} for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                                 let (tag, inner) = &o[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {datas}\n\
+                                     other => Err(::serde::Error::new(&format!(\"unknown variant {{other}} for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::new(\"expected string or single-key object for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated Deserialize impl parses")
+}

@@ -1,0 +1,98 @@
+//! The runner's core guarantee: for every experiment entry point, a
+//! parallel run (jobs=8) is bit-identical to a serial run (jobs=1).
+//!
+//! Each study serializes to JSON and the two strings are compared, so
+//! any re-ordered cell, perturbed random stream, or float that changed
+//! by one ulp fails the test.
+
+use cxl_repro::core_api::experiments::{balancer, colocation, keydb, latency, llm, slo, spark, vm};
+use cxl_repro::core_api::{CapacityConfig, Runner};
+
+fn assert_bit_identical<T: serde::Serialize>(serial: &T, parallel: &T, what: &str) {
+    let s = serde_json::to_string(serial).expect("study serializes");
+    let p = serde_json::to_string(parallel).expect("study serializes");
+    assert_eq!(s, p, "{what}: parallel output diverged from serial");
+}
+
+#[test]
+fn keydb_parallel_matches_serial() {
+    let params = keydb::Fig5Params {
+        record_count: 20_000,
+        ops: 8_000,
+        warmup_ops: 0,
+        seed: 42,
+    };
+    let a = keydb::run_with(&Runner::new(1), params);
+    let b = keydb::run_with(&Runner::new(8), params);
+    assert_bit_identical(&a, &b, "keydb");
+}
+
+#[test]
+fn latency_parallel_matches_serial() {
+    let a = latency::run_with(&Runner::new(1));
+    let b = latency::run_with(&Runner::new(8));
+    assert_bit_identical(&a, &b, "latency");
+}
+
+#[test]
+fn spark_parallel_matches_serial() {
+    let a = spark::run_with(&Runner::new(1));
+    let b = spark::run_with(&Runner::new(8));
+    assert_bit_identical(&a, &b, "spark");
+}
+
+#[test]
+fn llm_parallel_matches_serial() {
+    let a = llm::run_with(&Runner::new(1));
+    let b = llm::run_with(&Runner::new(8));
+    assert_bit_identical(&a, &b, "llm");
+}
+
+#[test]
+fn vm_parallel_matches_serial() {
+    let params = vm::Fig8Params {
+        record_count: 20_000,
+        ops: 20_000,
+        seed: 7,
+    };
+    let a = vm::run_with(&Runner::new(1), params);
+    let b = vm::run_with(&Runner::new(8), params);
+    assert_bit_identical(&a, &b, "vm");
+}
+
+#[test]
+fn colocation_parallel_matches_serial() {
+    let intensities = [50.0, 150.0, 250.0];
+    let a = colocation::run_with(&Runner::new(1), &intensities);
+    let b = colocation::run_with(&Runner::new(8), &intensities);
+    assert_bit_identical(&a, &b, "colocation");
+}
+
+#[test]
+fn balancer_parallel_matches_serial() {
+    let params = balancer::BalancerParams {
+        pages: 2_000,
+        touches_per_epoch: 300,
+        warmup_epochs: 10,
+        measure_epochs: 5,
+        ..Default::default()
+    };
+    let a = balancer::run_with(&Runner::new(1), params);
+    let b = balancer::run_with(&Runner::new(8), params);
+    assert_bit_identical(&a, &b, "balancer");
+}
+
+#[test]
+fn slo_parallel_matches_serial() {
+    let params = slo::SloParams {
+        record_count: 20_000,
+        warmup_ops: 10_000,
+        ops: 15_000,
+        rates: vec![4e5, 1.1e6],
+        ..Default::default()
+    };
+    let configs = [CapacityConfig::Mmem, CapacityConfig::Interleave11];
+    let a = slo::run_with(&Runner::new(1), &configs, &params);
+    let b = slo::run_with(&Runner::new(8), &configs, &params);
+    assert_bit_identical(&a, &b, "slo");
+}
