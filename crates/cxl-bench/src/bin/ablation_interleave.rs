@@ -11,6 +11,7 @@ use cxl_llm::{LlmCluster, LlmConfig, LlmPlacement};
 use cxl_stats::report::Table;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let cluster = LlmCluster::new(LlmConfig::default());
     let thread_counts = [36usize, 48, 60, 72, 96];
 

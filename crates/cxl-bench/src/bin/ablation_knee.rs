@@ -14,6 +14,7 @@ use cxl_stats::report::Table;
 use cxl_topology::{NodeId, SncMode, SocketId, Topology};
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let topo = Topology::paper_testbed(SncMode::Snc4);
     let mlc = Mlc::new(MlcConfig::default());
 

@@ -65,6 +65,7 @@ fn mmem_baseline() -> f64 {
 }
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let mmem = mmem_baseline();
     let mut table = Table::new(
         "ablation-page-size",

@@ -64,6 +64,7 @@ fn run_at_limit(limit_bytes_per_sec: f64) -> (f64, u64, u64) {
 }
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let limits_mbps = [1.0, 16.0, 128.0, 1024.0, 8192.0, 65536.0];
     let mut table = Table::new(
         "ablation-rate-limit",

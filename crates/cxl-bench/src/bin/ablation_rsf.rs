@@ -16,6 +16,7 @@ use cxl_stats::report::Table;
 use cxl_topology::{SncMode, Topology};
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let topo = Topology::paper_testbed(SncMode::Snc4);
     let paper = MemSystem::new(&topo);
     let fixed = MemSystem::with_tuning(&topo, PerfTuning::rsf_fixed());

@@ -24,6 +24,7 @@ fn full_socket_with_cxl() -> Topology {
 }
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let snc = LlmCluster::new(LlmConfig::default());
     let full = LlmCluster::with_topology(LlmConfig::default(), &full_socket_with_cxl());
 

@@ -36,6 +36,7 @@ fn keydb_on_cxl(topo: &Topology) -> f64 {
 }
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let asic = platform(CxlDevice::a1000());
     let fpga = platform(CxlDevice::fpga_prototype());
     let sys_asic = MemSystem::new(&asic);

@@ -9,6 +9,7 @@ use cxl_bench::{emit, runner_from_args, shape_line};
 use cxl_core::experiments::balancer::{run_with, BalancerParams, BalancerPolicy};
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let study = run_with(&runner_from_args(), BalancerParams::default());
     emit(&study, || {
         let mut out = study.table().render();

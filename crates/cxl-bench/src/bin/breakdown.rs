@@ -26,6 +26,7 @@ fn kind_label(kind: ResourceKind) -> String {
 }
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let sys = MemSystem::new(&Topology::paper_testbed(SncMode::Snc4));
     let mix = AccessMix::ratio(2, 1);
     let mut table = Table::new(

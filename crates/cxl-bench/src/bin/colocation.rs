@@ -5,6 +5,7 @@ use cxl_bench::{emit, runner_from_args, shape_line};
 use cxl_core::experiments::colocation::{run_with, ColocationPlacement};
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let intensities = [25.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0];
     let study = run_with(&runner_from_args(), &intensities);
     emit(&study, || {

@@ -39,6 +39,7 @@ fn snc_domain_with(dev: CxlDevice) -> Topology {
 }
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let today = snc_domain_with(CxlDevice::a1000());
     let gen6 = snc_domain_with(gen6_device());
     let sys_today = MemSystem::new(&today);

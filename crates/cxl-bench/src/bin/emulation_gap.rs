@@ -26,6 +26,7 @@ fn keydb_bound_to(topo: &Topology, node: NodeId) -> f64 {
 }
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let topo = Topology::paper_testbed(SncMode::Disabled);
     let sys = MemSystem::new(&topo);
     let s0 = SocketId(0);

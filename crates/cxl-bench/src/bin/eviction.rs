@@ -38,6 +38,7 @@ fn run(policy: EvictionPolicy, workload: Workload) -> (f64, f64) {
 }
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let policies = [
         ("CLOCK (allkeys-lru)", EvictionPolicy::Clock),
         ("random", EvictionPolicy::Random),

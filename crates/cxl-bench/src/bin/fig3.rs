@@ -5,6 +5,7 @@ use cxl_bench::{emit, figure_text, report_solve_cache, runner_from_args, shape_l
 use cxl_core::experiments::latency;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let study = latency::run_with(&runner_from_args());
     report_solve_cache();
     emit(&study, || {

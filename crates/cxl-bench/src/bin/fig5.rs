@@ -7,6 +7,7 @@ use cxl_core::CapacityConfig;
 use cxl_ycsb::Workload;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let study = run_with(&runner_from_args(), Fig5Params::default());
     emit(&study, || {
         let mut out = String::new();

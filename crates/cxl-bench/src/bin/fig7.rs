@@ -5,6 +5,7 @@ use cxl_bench::{emit, runner_from_args, shape_line};
 use cxl_core::experiments::spark;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let study = spark::run_with(&runner_from_args());
     emit(&study, || {
         let mut out = String::new();

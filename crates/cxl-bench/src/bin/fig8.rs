@@ -4,6 +4,7 @@ use cxl_bench::{emit, figure_text, runner_from_args, shape_line};
 use cxl_core::experiments::vm::{run_with, Fig8Params};
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let study = run_with(&runner_from_args(), Fig8Params::default());
     emit(&study, || {
         let mut out = String::new();

@@ -18,6 +18,7 @@ use cxl_topology::{NodeId, SncMode, Topology};
 use rand::Rng;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let topo = Topology::paper_testbed(SncMode::Disabled);
     let mut a = TieredAllocator::new(
         &topo,

@@ -7,6 +7,7 @@ use cxl_perf::MemSystem;
 use cxl_topology::{SncMode, Topology};
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let sys = MemSystem::new(&Topology::paper_testbed(SncMode::Snc4));
     let mlc = Mlc::new(MlcConfig::default());
     let idle = mlc.idle_latency_matrix(&sys);

@@ -12,6 +12,7 @@ use cxl_cost::{AppClass, CostModelParams, FleetMixture, PoolingConfig};
 use cxl_stats::report::Table;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let mut table = Table::new(
         "pooling",
         "Pool sizing vs host count (p99 provisioning, demand N(512, 128) GiB)",

@@ -4,6 +4,7 @@ use cxl_bench::{emit, shape_line};
 use cxl_core::experiments::vm::{run, Fig8Params};
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let study = run(Fig8Params {
         record_count: 100_000,
         ops: 100_000,

@@ -7,6 +7,7 @@ use cxl_core::CapacityConfig;
 use cxl_stats::report::Table;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let params = SloParams::default();
     let configs = [
         CapacityConfig::Mmem,

@@ -5,6 +5,7 @@ use cxl_bench::emit;
 use cxl_core::experiments::processors;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let table = processors::tab2();
     emit(&table, || table.render());
 }

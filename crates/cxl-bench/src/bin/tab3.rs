@@ -4,6 +4,7 @@ use cxl_bench::emit;
 use cxl_core::experiments::cost;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let study = cost::run();
     emit(&study, || study.tab3().render());
 }

@@ -12,6 +12,7 @@ use cxl_stats::report::Table;
 use cxl_ycsb::Workload;
 
 fn main() {
+    let _metrics = cxl_bench::metrics_guard();
     let params = Fig5Params {
         record_count: 100_000,
         ops: 80_000,

@@ -38,6 +38,66 @@ pub fn runner_from_args() -> cxl_core::Runner {
     cxl_core::Runner::from_env()
 }
 
+/// Destination of the metrics export, from `--metrics <path>`,
+/// `--metrics=<path>`, or the `CXL_METRICS` environment variable (flag
+/// wins). `None` disables metrics collection entirely.
+pub fn metrics_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--metrics" {
+            if let Some(p) = args.next() {
+                return Some(p.into());
+            }
+        } else if let Some(p) = a.strip_prefix("--metrics=") {
+            return Some(p.into());
+        }
+    }
+    std::env::var("CXL_METRICS")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .map(Into::into)
+}
+
+/// Enables metrics collection when a destination is configured and
+/// exports the registry when dropped.
+///
+/// Call at the top of every regeneration binary's `main`:
+///
+/// ```no_run
+/// let _metrics = cxl_bench::metrics_guard();
+/// ```
+///
+/// With no `--metrics`/`CXL_METRICS`, collection stays disabled and the
+/// instrumentation throughout the simulation crates remains a no-op.
+#[must_use = "the guard exports metrics when dropped"]
+pub fn metrics_guard() -> MetricsGuard {
+    let path = metrics_path();
+    if path.is_some() {
+        cxl_obs::enable();
+    }
+    MetricsGuard { path }
+}
+
+/// RAII handle returned by [`metrics_guard`]; writes the JSON export on
+/// drop.
+#[derive(Debug)]
+pub struct MetricsGuard {
+    path: Option<std::path::PathBuf>,
+}
+
+impl Drop for MetricsGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        let json = cxl_obs::global().export_json();
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("# metrics written to {}", path.display()),
+            Err(e) => eprintln!("# failed to write metrics to {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Reports the `cxl-perf` solve-cache hit rate on stderr.
 ///
 /// Goes to stderr so stdout stays byte-comparable between runs at

@@ -83,27 +83,49 @@ impl Runner {
         let n = items.len();
         let workers = self.jobs.min(n);
         if workers <= 1 {
-            return items.into_iter().map(f).collect();
+            return items
+                .into_iter()
+                .map(|item| {
+                    cxl_obs::counter_add("runner/cells", 1);
+                    let _cell = cxl_obs::span("runner/cell_wall_ns");
+                    f(item)
+                })
+                .collect();
         }
 
         let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let in_flight = AtomicUsize::new(0);
         let f = &f;
+        // Thread-scoped metric registries don't cross thread boundaries
+        // on their own; carry the caller's innermost scope into every
+        // worker so cells record where the caller expects.
+        let obs = cxl_obs::current();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let _obs_scope = obs.clone().map(cxl_obs::scope);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = work[i]
+                            .lock()
+                            .expect("work slot poisoned")
+                            .take()
+                            .expect("cell claimed twice");
+                        let busy = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                        cxl_obs::wall_counter_max("runner/in_flight_max", busy as u64);
+                        cxl_obs::counter_add("runner/cells", 1);
+                        let out = {
+                            let _cell = cxl_obs::span("runner/cell_wall_ns");
+                            f(item)
+                        };
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                        *slots[i].lock().expect("result slot poisoned") = Some(out);
                     }
-                    let item = work[i]
-                        .lock()
-                        .expect("work slot poisoned")
-                        .take()
-                        .expect("cell claimed twice");
-                    let out = f(item);
-                    *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
         });

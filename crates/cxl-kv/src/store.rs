@@ -376,6 +376,19 @@ impl KvStore {
                 }
             }
         }
+        if cxl_obs::active() {
+            let metric = match outcome.location {
+                Location::Ssd => "kv/access_ns/ssd",
+                Location::Node(node) => match self.sys.node(node).tier {
+                    cxl_topology::MemoryTier::LocalDram => "kv/access_ns/mmem",
+                    cxl_topology::MemoryTier::CxlExpander => "kv/access_ns/cxl",
+                },
+            };
+            cxl_obs::record(metric, ns as u64);
+            if hit_ssd {
+                cxl_obs::counter_add("kv/ssd_hits", 1);
+            }
+        }
         (ns, hit_ssd)
     }
 
@@ -497,6 +510,7 @@ impl KvStore {
             let completion = servers.submit(arrival, SimTime::from_ns_f64(service_ns));
             let sojourn = completion.sojourn(arrival).as_ns();
             latency.record(sojourn);
+            cxl_obs::record("kv/op_sojourn_ns", sojourn);
             if !op.is_write() {
                 read_latency.record(sojourn);
             }
@@ -564,6 +578,7 @@ impl KvStore {
             clients[client] = completion.finish;
             let sojourn = completion.sojourn(arrival).as_ns();
             latency.record(sojourn);
+            cxl_obs::record("kv/op_sojourn_ns", sojourn);
             if !op.is_write() {
                 read_latency.record(sojourn);
             }

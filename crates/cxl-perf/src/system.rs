@@ -638,10 +638,14 @@ impl MemSystem {
             .get(&key)
         {
             SOLVE_HITS.fetch_add(1, Ordering::Relaxed);
+            // Wall class: two workers racing on the same cold key can
+            // both miss, so the hit/miss split is schedule-dependent.
+            cxl_obs::wall_counter_add("perf/solve_cache_hits", 1);
             return hit.clone();
         }
         let result = self.solve_internal(flows).0;
         SOLVE_MISSES.fetch_add(1, Ordering::Relaxed);
+        cxl_obs::wall_counter_add("perf/solve_cache_misses", 1);
         let mut cache = solve_cache().lock().expect("solve cache poisoned");
         if cache.len() < SOLVE_CACHE_CAP {
             cache.insert(key, result.clone());
@@ -665,7 +669,9 @@ impl MemSystem {
 
         // Water-filling: grow the common scale of active flows until a
         // resource saturates; freeze the flows crossing it; repeat.
+        let mut iterations = 0u64;
         while !active.is_empty() {
+            iterations += 1;
             let common = scale[active[0]];
             let mut max_step = 1.0 - common;
             let mut binding: Option<usize> = None;
@@ -706,6 +712,10 @@ impl MemSystem {
                 }
             }
         }
+
+        // Wall class: how many solves run (vs. hit the cache) depends
+        // on scheduling, so cumulative iteration counts do too.
+        cxl_obs::wall_counter_add("perf/solver_iterations", iterations);
 
         // Compute utilization and per-flow latency.
         let utilization: Vec<(ResourceKind, f64)> = self

@@ -91,6 +91,7 @@ impl<S> Engine<S> {
         self.seq += 1;
         self.heap.push(Reverse(key));
         self.events.insert(key, Scheduled { id, f: Box::new(f) });
+        cxl_obs::counter_max("sim/heap_depth_max", self.heap.len() as u64);
         id
     }
 
@@ -143,10 +144,12 @@ impl<S> Engine<S> {
                 .remove(&key)
                 .expect("heap key without event entry");
             if self.cancelled.remove(&ev.id) {
+                cxl_obs::counter_add("sim/events_cancelled", 1);
                 continue;
             }
             self.now = key.0;
             self.executed += 1;
+            cxl_obs::counter_add("sim/events_executed", 1);
             (ev.f)(self);
             return true;
         }

@@ -156,8 +156,36 @@ impl Histogram {
         self.max
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. The result is identical
+    /// to having recorded both input streams into a single histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket layouts.
+    /// Today every histogram shares one layout, but a silent
+    /// `zip`-truncation here would turn a future layout change into
+    /// corrupted percentiles instead of a loud failure.
     pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge histograms with different bucket layouts ({} vs {} buckets)",
+            self.counts.len(),
+            other.counts.len(),
+        );
+        if other.count == 0 {
+            // Nothing recorded on the other side; in particular its
+            // `min` sentinel (u64::MAX) must not leak into `self`.
+            return;
+        }
+        if self.count == 0 {
+            self.counts.copy_from_slice(&other.counts);
+            self.count = other.count;
+            self.total = other.total;
+            self.min = other.min;
+            self.max = other.max;
+            return;
+        }
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += *b;
         }

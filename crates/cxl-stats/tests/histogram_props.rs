@@ -1,0 +1,118 @@
+//! Property tests for [`cxl_stats::Histogram`].
+//!
+//! Pins the two invariants latency reporting rests on: merging worker
+//! histograms is indistinguishable from recording the union stream into
+//! one histogram, and percentile queries are monotone in `p`.
+
+use cxl_stats::Histogram;
+use proptest::prelude::*;
+
+fn recorded(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_union_stream(
+        left in prop::collection::vec(0u64..5_000_000, 0..200),
+        right in prop::collection::vec(0u64..5_000_000, 0..200),
+    ) {
+        let mut merged = recorded(&left);
+        merged.merge(&recorded(&right));
+
+        let union: Vec<u64> = left.iter().chain(right.iter()).copied().collect();
+        let direct = recorded(&union);
+
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.min(), direct.min());
+        prop_assert_eq!(merged.max(), direct.max());
+        prop_assert_eq!(merged.mean(), direct.mean());
+        for p in [0.0, 1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 99.9, 100.0] {
+            prop_assert_eq!(
+                merged.percentile(p),
+                direct.percentile(p),
+                "p{} diverges after merge",
+                p
+            );
+        }
+        prop_assert_eq!(merged.cdf(), direct.cdf());
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        left in prop::collection::vec(0u64..5_000_000, 0..200),
+        right in prop::collection::vec(0u64..5_000_000, 0..200),
+    ) {
+        let mut ab = recorded(&left);
+        ab.merge(&recorded(&right));
+        let mut ba = recorded(&right);
+        ba.merge(&recorded(&left));
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        prop_assert_eq!(ab.cdf(), ba.cdf());
+    }
+
+    #[test]
+    fn percentile_is_monotone(
+        values in prop::collection::vec(0u64..5_000_000, 1..300),
+        p1 in 0.0f64..=100.0,
+        p2 in 0.0f64..=100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let h = recorded(&values);
+        prop_assert!(
+            h.percentile(lo) <= h.percentile(hi),
+            "percentile({}) = {} > percentile({}) = {}",
+            lo, h.percentile(lo), hi, h.percentile(hi)
+        );
+    }
+
+    #[test]
+    fn percentiles_stay_within_recorded_range(
+        values in prop::collection::vec(0u64..5_000_000, 1..300),
+        p in 0.0f64..=100.0,
+    ) {
+        let h = recorded(&values);
+        let v = h.percentile(p);
+        prop_assert!(v >= h.min() && v <= h.max());
+    }
+}
+
+#[test]
+fn merge_empty_into_populated_is_identity() {
+    let mut h = recorded(&[100, 250, 485]);
+    h.merge(&Histogram::new());
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.min(), 100);
+    assert_eq!(h.max(), 485);
+    // The empty side's min sentinel (u64::MAX) must not leak through.
+    assert_eq!(h.percentile(0.0), 100);
+}
+
+#[test]
+fn merge_populated_into_empty_copies_everything() {
+    let src = recorded(&[100, 250, 485]);
+    let mut h = Histogram::new();
+    h.merge(&src);
+    assert_eq!(h.count(), src.count());
+    assert_eq!(h.min(), src.min());
+    assert_eq!(h.max(), src.max());
+    assert_eq!(h.mean(), src.mean());
+    assert_eq!(h.cdf(), src.cdf());
+}
+
+#[test]
+fn merge_two_empty_histograms_stays_empty() {
+    let mut h = Histogram::new();
+    h.merge(&Histogram::new());
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0.0);
+    assert!(h.cdf().is_empty());
+}

@@ -345,6 +345,7 @@ impl TierManager {
             self.pages.push(PageMeta::new(Location::Ssd));
             self.stats.allocated += 1;
             self.stats.ssd_spills += 1;
+            cxl_obs::counter_add("tier/ssd_spills", 1);
             Ok(id)
         } else {
             Err(OutOfMemory)
@@ -422,6 +423,7 @@ impl TierManager {
         let prev_fault = meta.last_hint_fault;
         meta.last_hint_fault = now;
         self.stats.hint_faults += 1;
+        cxl_obs::counter_add("tier/hint_faults", 1);
         outcome.hint_fault = true;
         outcome.fault_cost = match &self.cfg.migration {
             MigrationMode::NumaBalancing(b) => b.hint_fault_cost,
@@ -452,6 +454,7 @@ impl TierManager {
                 // §5.3: never promote into a bandwidth-saturated top tier.
                 if self.dram_bw_util > b.high_watermark {
                     self.stats.promotions_bw_suppressed += 1;
+                    cxl_obs::counter_add("tier/promotions_bw_suppressed", 1);
                     self.record_trace(now, TierEvent::PromotionSuppressed { page });
                 } else {
                     outcome.promoted = self.hot_page_promotion(page, node, prev_fault, now);
@@ -474,6 +477,7 @@ impl TierManager {
             prev_fault != SimTime::MAX && now.saturating_sub(prev_fault) <= self.hot_threshold;
         if !recent {
             self.stats.promotions_not_hot += 1;
+            cxl_obs::counter_add("tier/promotions_not_hot", 1);
             return false;
         }
         self.promo_candidates_period += 1;
@@ -487,6 +491,7 @@ impl TierManager {
             self.promote(page, node, now)
         } else {
             self.stats.promotions_rate_limited += 1;
+            cxl_obs::counter_add("tier/promotions_rate_limited", 1);
             false
         }
     }
@@ -499,6 +504,10 @@ impl TierManager {
         };
         self.move_page(page, from, target, now);
         self.stats.promotions += 1;
+        if cxl_obs::active() {
+            cxl_obs::counter_add("tier/promotions", 1);
+            cxl_obs::counter_add(&format!("tier/promotions/to_node{}", target.0), 1);
+        }
         true
     }
 
@@ -524,15 +533,68 @@ impl TierManager {
             .copied()
     }
 
-    /// Demotes one cold page from a DRAM node to a CXL node with room.
-    /// Returns `true` if a page moved.
-    fn demote_one(&mut self, from: NodeId, now: SimTime) -> bool {
-        let Some(target) = self
-            .nodes
+    /// Picks the node demoted pages should land on: a non-top-tier node
+    /// with room, preferring the accessor socket. A remote-socket CXL
+    /// hop costs ~485 ns per access against ~250 ns local (§3.2), so
+    /// locality is worth preserving whenever local capacity remains.
+    fn demotion_target(&self, prefer: SocketId) -> Option<NodeId> {
+        self.nodes
             .iter()
-            .find(|n| !n.tier.is_top_tier() && n.used_pages < n.capacity_pages)
+            .filter(|n| !n.tier.is_top_tier() && n.used_pages < n.capacity_pages)
+            .min_by_key(|n| (n.socket != prefer, n.id.0))
             .map(|n| n.id)
-        else {
+    }
+
+    /// Moves an already-unlinked demotion victim to `target`,
+    /// re-validating capacity at move time: the CLOCK walk between
+    /// target selection and the move can consume ring entries, and a
+    /// stale target would silently over-fill a node. On a stale target
+    /// the miss is counted, a fresh target is resolved, and if none
+    /// exists the victim is re-linked at the ring front. Returns `true`
+    /// if the page moved.
+    fn demote_move(
+        &mut self,
+        page: PageId,
+        from: NodeId,
+        mut target: NodeId,
+        now: SimTime,
+    ) -> bool {
+        if !self.has_room(target) {
+            self.stats.demotions_target_full += 1;
+            cxl_obs::counter_add("tier/demotions_target_full", 1);
+            match self.demotion_target(self.cfg.accessor_socket) {
+                Some(fresh) => target = fresh,
+                None => {
+                    self.rings[from.0].push_front(page);
+                    return false;
+                }
+            }
+        }
+        let remote = self.nodes[target.0].socket != self.cfg.accessor_socket;
+        self.move_page(page, from, target, now);
+        self.stats.demotions += 1;
+        if remote {
+            self.stats.demotions_remote_socket += 1;
+        }
+        if cxl_obs::active() {
+            cxl_obs::counter_add("tier/demotions", 1);
+            cxl_obs::counter_add(
+                if remote {
+                    "tier/demotions_remote_socket"
+                } else {
+                    "tier/demotions_local_socket"
+                },
+                1,
+            );
+            cxl_obs::counter_add(&format!("tier/demotions/to_node{}", target.0), 1);
+        }
+        true
+    }
+
+    /// Demotes one cold page from a DRAM node to a CXL node with room,
+    /// preferring same-socket targets. Returns `true` if a page moved.
+    fn demote_one(&mut self, from: NodeId, now: SimTime) -> bool {
+        let Some(target) = self.demotion_target(self.cfg.accessor_socket) else {
             return false;
         };
         // CLOCK second chance over the ring, bounded by its length.
@@ -552,18 +614,14 @@ impl TierManager {
                 self.rings[from.0].push_back(pid);
                 continue;
             }
-            self.move_page(pid, from, target, now);
-            self.stats.demotions += 1;
-            return true;
+            return self.demote_move(pid, from, target, now);
         }
         // Everything was referenced: demote the current front anyway
         // (memory pressure wins, as in kernel reclaim).
         while let Some(pid) = self.rings[from.0].pop_front() {
             let meta = &self.pages[pid.0 as usize];
             if !meta.freed && meta.location == Location::Node(from) {
-                self.move_page(pid, from, target, now);
-                self.stats.demotions += 1;
-                return true;
+                return self.demote_move(pid, from, target, now);
             }
         }
         false
@@ -580,6 +638,7 @@ impl TierManager {
         self.rings[to.0].push_back(page);
         self.epoch.record_migration(from, to, self.cfg.page_size);
         self.stats.migration_bytes += self.cfg.page_size;
+        cxl_obs::counter_add("tier/migration_bytes", self.cfg.page_size);
         if self.trace.is_some() {
             let event = if self.nodes[to.0].tier.is_top_tier() {
                 TierEvent::Promoted { page, from, to }
@@ -605,6 +664,7 @@ impl TierManager {
         meta.hint_installed = false;
         self.nodes[node.0].used_pages -= 1;
         self.stats.evictions_to_ssd += 1;
+        cxl_obs::counter_add("tier/evictions_to_ssd", 1);
         self.epoch.record_ssd(self.cfg.page_size, true);
         self.record_trace(
             SimTime::ZERO.max(self.last_trace_time()),
@@ -642,15 +702,34 @@ impl TierManager {
         self.nodes[target.0].used_pages += 1;
         self.rings[target.0].push_back(page);
         self.stats.ssd_loads += 1;
+        cxl_obs::counter_add("tier/ssd_loads", 1);
         self.epoch.record_ssd(self.cfg.page_size, false);
         self.epoch.record_access(target, self.cfg.page_size, true);
         self.record_trace(now, TierEvent::LoadedFromSsd { page, to: target });
         Ok(())
     }
 
+    /// Samples per-node occupancy into `tier/node{N}/occupancy_pages`
+    /// histograms, one point per tick. Ticks advance in simulated time,
+    /// so the sampled distribution is deterministic.
+    fn sample_occupancy(&self) {
+        if !cxl_obs::active() {
+            return;
+        }
+        for n in &self.nodes {
+            if n.capacity_pages > 0 {
+                cxl_obs::record(
+                    &format!("tier/node{}/occupancy_pages", n.id.0),
+                    n.used_pages,
+                );
+            }
+        }
+    }
+
     /// Runs periodic work up to `now`: hint-fault scanning, dynamic
     /// threshold adjustment, and watermark demotion.
     pub fn tick(&mut self, now: SimTime) {
+        self.sample_occupancy();
         let (scan_period, scan_pages) = match &self.cfg.migration {
             MigrationMode::None => {
                 self.demote_to_watermark(now);
@@ -1199,5 +1278,107 @@ mod tests {
     #[should_panic(expected = "policy references unknown node")]
     fn unknown_node_in_policy_panics() {
         TierManager::new(&topo(), TierConfig::bind(vec![NodeId(99)]));
+    }
+
+    /// Two sockets, each with DRAM + one CXL expander.
+    /// Nodes: 0 = DRAM s0, 1 = DRAM s1, 2 = CXL s0, 3 = CXL s1.
+    fn two_socket_cxl_topo() -> Topology {
+        use cxl_topology::builder::TopologyBuilder;
+        use cxl_topology::{CxlDevice, DdrGeneration};
+        TopologyBuilder::new()
+            .socket(56, 8, DdrGeneration::Ddr5_4800, 512)
+            .with_cxl(CxlDevice::a1000())
+            .socket(56, 8, DdrGeneration::Ddr5_4800, 512)
+            .with_cxl(CxlDevice::a1000())
+            .upi_links(2, 62.4, 30.0)
+            .build()
+    }
+
+    #[test]
+    fn demotion_prefers_accessor_socket_cxl() {
+        // Workload runs on socket 1; node-id-order first-fit would pick
+        // the socket-0 expander (node 2) even though the local one
+        // (node 3) has room.
+        let mut cfg = TierConfig::bind(vec![NodeId(1)]);
+        cfg.accessor_socket = SocketId(1);
+        cfg.capacity_override = vec![
+            (NodeId(0), 0),
+            (NodeId(1), 10 * 4096),
+            (NodeId(2), 100 * 4096),
+            (NodeId(3), 4 * 4096),
+        ];
+        cfg.demotion_watermark = 0.5;
+        cfg.migration = MigrationMode::NumaBalancing(NumaBalancingConfig::default());
+        let mut tm = TierManager::new(&two_socket_cxl_topo(), cfg);
+
+        let reg = std::sync::Arc::new(cxl_obs::Registry::new());
+        let guard = cxl_obs::scope(reg.clone());
+        tm.alloc_n(10, SimTime::ZERO).unwrap();
+        tm.tick(SimTime::from_ms(100));
+        drop(guard);
+
+        // Watermark 0.5 demotes 5 pages: local CXL takes its full 4,
+        // only the overflow page crosses the UPI link.
+        assert_eq!(tm.node_usage(NodeId(1)).0, 5);
+        assert_eq!(tm.node_usage(NodeId(3)).0, 4);
+        assert_eq!(tm.node_usage(NodeId(2)).0, 1);
+        assert_eq!(reg.counter("tier/demotions/to_node3"), Some(4));
+        assert_eq!(reg.counter("tier/demotions/to_node2"), Some(1));
+        assert_eq!(reg.counter("tier/demotions_local_socket"), Some(4));
+        assert_eq!(reg.counter("tier/demotions_remote_socket"), Some(1));
+        assert_eq!(tm.stats().demotions, 5);
+        assert_eq!(tm.stats().demotions_remote_socket, 1);
+        // The move-time re-validation never fired: each demote_one call
+        // resolved a fresh in-capacity target.
+        assert_eq!(tm.stats().demotions_target_full, 0);
+    }
+
+    #[test]
+    fn demotion_stays_local_until_local_cxl_exhausted() {
+        let mut cfg = TierConfig::bind(vec![NodeId(0)]);
+        cfg.accessor_socket = SocketId(0);
+        cfg.capacity_override = vec![
+            (NodeId(0), 8 * 4096),
+            (NodeId(1), 0),
+            (NodeId(2), 8 * 4096),
+            (NodeId(3), 8 * 4096),
+        ];
+        cfg.demotion_watermark = 0.25;
+        cfg.migration = MigrationMode::NumaBalancing(NumaBalancingConfig::default());
+        let mut tm = TierManager::new(&two_socket_cxl_topo(), cfg);
+
+        let reg = std::sync::Arc::new(cxl_obs::Registry::new());
+        let guard = cxl_obs::scope(reg.clone());
+        tm.alloc_n(8, SimTime::ZERO).unwrap();
+        tm.tick(SimTime::from_ms(1));
+        drop(guard);
+        // Six pages leave DRAM to reach the 0.25 watermark; the local
+        // expander had room for all of them, so none crossed sockets.
+        assert_eq!(tm.node_usage(NodeId(2)).0, 6);
+        assert_eq!(tm.node_usage(NodeId(3)).0, 0);
+        assert_eq!(reg.counter("tier/demotions_local_socket"), Some(6));
+        assert_eq!(reg.counter("tier/demotions_remote_socket"), None);
+    }
+
+    #[test]
+    fn occupancy_histograms_sampled_each_tick() {
+        let mut cfg = TierConfig::bind(vec![DRAM0]);
+        cfg.capacity_override = small_caps(10, 100);
+        let mut tm = TierManager::new(&topo(), cfg);
+        let reg = std::sync::Arc::new(cxl_obs::Registry::new());
+        let guard = cxl_obs::scope(reg.clone());
+        tm.alloc_n(4, SimTime::ZERO).unwrap();
+        tm.tick(SimTime::from_ms(1));
+        tm.alloc_n(3, SimTime::ZERO).unwrap();
+        tm.tick(SimTime::from_ms(2));
+        drop(guard);
+        let h = reg
+            .histogram("tier/node0/occupancy_pages")
+            .expect("occupancy sampled");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 4);
+        assert_eq!(h.max(), 7);
+        // Zero-capacity nodes are not sampled.
+        assert!(reg.histogram("tier/node1/occupancy_pages").is_none());
     }
 }

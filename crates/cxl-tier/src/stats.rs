@@ -25,6 +25,13 @@ pub struct TierStats {
     pub promotions_bw_suppressed: u64,
     /// Pages demoted from DRAM to CXL.
     pub demotions: u64,
+    /// Demotions that landed on a CXL node off the accessor socket
+    /// (every later access pays the ~485 ns remote-CXL path, §3.2).
+    pub demotions_remote_socket: u64,
+    /// Demotions whose selected target was full by move time and had to
+    /// be re-resolved (or abandoned) after the victim was already
+    /// unlinked from its CLOCK ring.
+    pub demotions_target_full: u64,
     /// Pages explicitly moved to SSD by the application (eviction).
     pub evictions_to_ssd: u64,
     /// Pages explicitly brought back from SSD.

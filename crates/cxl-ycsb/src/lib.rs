@@ -195,6 +195,21 @@ impl Generator {
 
     /// Draws the next operation.
     pub fn next_op(&mut self) -> Op {
+        let op = self.draw_op();
+        cxl_obs::counter_add(
+            match op {
+                Op::Read(_) => "ycsb/ops/read",
+                Op::Update(_) => "ycsb/ops/update",
+                Op::Insert(_) => "ycsb/ops/insert",
+                Op::Scan { .. } => "ycsb/ops/scan",
+                Op::ReadModifyWrite(_) => "ycsb/ops/rmw",
+            },
+            1,
+        );
+        op
+    }
+
+    fn draw_op(&mut self) -> Op {
         let is_read = self.rng.gen::<f64>() < self.workload.read_fraction();
         if is_read {
             let key = self.next_key();

@@ -110,7 +110,7 @@ pub mod prop {
             max: usize,
         }
 
-        /// Vector sizes accepted by [`vec`].
+        /// Vector sizes accepted by [`vec()`].
         pub trait SizeRange {
             /// Inclusive lower, exclusive upper bound.
             fn bounds(&self) -> (usize, usize);

@@ -28,6 +28,35 @@ fn keydb_parallel_matches_serial() {
 }
 
 #[test]
+fn sim_metrics_parallel_match_serial() {
+    // Simulated-time metrics are commutative aggregates (counter adds,
+    // maxima, histogram bucket increments), so the exported "sim"
+    // section must be byte-identical no matter how cells were scheduled
+    // across workers. Wall-class metrics (spans, in-flight peaks, cache
+    // hit/miss splits) are intentionally excluded from the comparison.
+    let params = keydb::Fig5Params {
+        record_count: 20_000,
+        ops: 8_000,
+        warmup_ops: 0,
+        seed: 42,
+    };
+    let run = |jobs: usize| {
+        let reg = std::sync::Arc::new(cxl_repro::obs::Registry::new());
+        let guard = cxl_repro::obs::scope(reg.clone());
+        keydb::run_with(&Runner::new(jobs), params);
+        drop(guard);
+        reg.export_sim_json()
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert!(
+        serial.contains("kv/op_sojourn_ns"),
+        "instrumentation missing from export:\n{serial}"
+    );
+    assert_eq!(serial, parallel, "sim metrics diverged across --jobs");
+}
+
+#[test]
 fn latency_parallel_matches_serial() {
     let a = latency::run_with(&Runner::new(1));
     let b = latency::run_with(&Runner::new(8));

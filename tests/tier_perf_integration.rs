@@ -103,6 +103,74 @@ fn hot_page_selection_converges_hot_set_to_dram() {
 }
 
 #[test]
+fn two_socket_demotion_fills_local_cxl_before_crossing_upi() {
+    // Two sockets, each with DRAM + one A1000 expander. The workload is
+    // bound to socket 0's DRAM; demotions must fill the socket-local
+    // expander (node 2, ~250 ns) before spilling across the UPI link to
+    // the remote one (node 3, ~485 ns). Verified through the cxl-obs
+    // JSON export — the same artifact the bench binaries write for
+    // `--metrics` — rather than by peeking at manager internals.
+    use cxl_repro::topology::{CxlDevice, DdrGeneration, TopologyBuilder};
+
+    let t = TopologyBuilder::new()
+        .socket(56, 8, DdrGeneration::Ddr5_4800, 512)
+        .with_cxl(CxlDevice::a1000())
+        .socket(56, 8, DdrGeneration::Ddr5_4800, 512)
+        .with_cxl(CxlDevice::a1000())
+        .upi_links(2, 62.4, 30.0)
+        .build();
+    let mut cfg = TierConfig::bind(vec![DRAM0]);
+    cfg.accessor_socket = SocketId(0);
+    cfg.capacity_override = vec![
+        (NodeId(0), 8 * 4096),
+        (NodeId(1), 0),
+        (NodeId(2), 6 * 4096),  // local CXL: room for 6 pages
+        (NodeId(3), 64 * 4096), // remote CXL: plenty of room
+    ];
+    cfg.demotion_watermark = 0.5;
+    cfg.migration = MigrationMode::NumaBalancing(NumaBalancingConfig::default());
+    let mut tm = TierManager::new(&t, cfg);
+
+    let reg = std::sync::Arc::new(cxl_repro::obs::Registry::new());
+    let guard = cxl_repro::obs::scope(reg.clone());
+
+    let sim_counter = |json: &str, name: &str| -> Option<u64> {
+        let v = serde_json::parse_value(json).expect("export parses");
+        v.get("sim")
+            .and_then(|s| s.get(name))
+            .and_then(|c| c.get("value"))
+            .and_then(|c| c.as_u64())
+    };
+
+    // Phase 1: demand (4 demotions) fits the local expander entirely.
+    tm.alloc_n(8, SimTime::ZERO).unwrap();
+    tm.tick(SimTime::from_ms(1));
+    let export = reg.export_json();
+    assert_eq!(sim_counter(&export, "tier/demotions"), Some(4));
+    assert_eq!(sim_counter(&export, "tier/demotions_local_socket"), Some(4));
+    assert_eq!(
+        sim_counter(&export, "tier/demotions_remote_socket"),
+        None,
+        "remote demotions before local CXL exhausted:\n{export}"
+    );
+
+    // Phase 2: four more demotions, but only two local slots remain —
+    // exactly the overflow crosses the socket boundary.
+    tm.alloc_n(4, SimTime::ZERO).unwrap();
+    tm.tick(SimTime::from_ms(2));
+    drop(guard);
+    let export = reg.export_json();
+    assert_eq!(sim_counter(&export, "tier/demotions"), Some(8));
+    assert_eq!(sim_counter(&export, "tier/demotions_local_socket"), Some(6));
+    assert_eq!(
+        sim_counter(&export, "tier/demotions_remote_socket"),
+        Some(2)
+    );
+    assert_eq!(tm.node_usage(NodeId(2)).0, 6, "local CXL not filled first");
+    assert_eq!(tm.node_usage(NodeId(3)).0, 2);
+}
+
+#[test]
 fn demotion_keeps_dram_below_watermark() {
     let t = topo();
     let mut cfg = TierConfig::bind(vec![DRAM0]);
