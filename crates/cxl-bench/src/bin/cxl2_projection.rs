@@ -25,6 +25,7 @@ fn gen6_device() -> CxlDevice {
         capacity_gib: 512,
         controller_latency_ns: 153.4,
         link_efficiency: 0.736,
+        health: cxl_topology::DeviceHealth::healthy(),
     }
 }
 

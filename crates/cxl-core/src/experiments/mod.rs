@@ -13,10 +13,12 @@
 //! | [`colocation`] | Multi-tenant isolation: parking the bandwidth hog on CXL (§3.4) |
 //! | [`slo`] | Open-loop tail-latency capacity per placement |
 //! | [`replication`] | Multi-seed mean ± std for any experiment metric |
+//! | [`faults`] | Graceful degradation: KeyDB across expander faults of rising severity |
 
 pub mod balancer;
 pub mod colocation;
 pub mod cost;
+pub mod faults;
 pub mod keydb;
 pub mod latency;
 pub mod llm;

@@ -17,8 +17,10 @@ const FLASH_READPATH_NS: f64 = 1_500.0;
 const ROCKSDB_MISS_NS: f64 = 30_000.0;
 use cxl_sim::{MultiServer, SimTime};
 use cxl_stats::Histogram;
-use cxl_tier::{Location, PageId, Rw, TierConfig, TierManager, TierStats};
-use cxl_topology::Topology;
+use cxl_tier::{
+    EvacuationReport, Location, PageId, Rw, TierConfig, TierError, TierManager, TierStats,
+};
+use cxl_topology::{NodeId, Topology};
 use cxl_ycsb::{Generator, GeneratorConfig, Op, Workload};
 
 /// CPU/memory cost profile of one KeyDB operation.
@@ -211,7 +213,13 @@ impl KvStore {
         let _ = tm;
         sys.nodes()
             .iter()
-            .map(|n| sys.idle_latency_ns(sys.sockets()[0], n.id, cxl_perf::AccessMix::read_only()))
+            .map(|n| {
+                // Offline (failed) expanders have no latency; infinity
+                // keeps any stale access to them visibly wrong without
+                // panicking the pricing path.
+                sys.try_idle_latency_ns(sys.sockets()[0], n.id, cxl_perf::AccessMix::read_only())
+                    .unwrap_or(f64::INFINITY)
+            })
             .collect()
     }
 
@@ -223,6 +231,64 @@ impl KvStore {
     /// Current page residency distribution.
     pub fn residency(&self) -> Vec<(Location, u64)> {
         self.tm.residency()
+    }
+
+    /// Idle read latency to `node` under the store's current (possibly
+    /// degraded) performance model, ns; `None` when the node is offline.
+    pub fn idle_latency_ns(&self, node: NodeId) -> Option<f64> {
+        self.sys
+            .try_idle_latency_ns(
+                self.sys.sockets()[0],
+                node,
+                cxl_perf::AccessMix::read_only(),
+            )
+            .ok()
+    }
+
+    /// Rebuilds the performance model for a (possibly degraded) topology
+    /// and re-derives the idle-latency table. Call after device health
+    /// changes (link downgrade, latency inflation) that do not require
+    /// moving pages; the store keeps serving at the recomputed
+    /// latencies.
+    pub fn apply_topology(&mut self, topo: &Topology) {
+        self.sys = MemSystem::new(topo);
+        self.lat_ns = Self::idle_latency_table(&self.sys, &self.tm);
+    }
+
+    /// Reacts to an expander failure: fences and drains `node` through
+    /// the tier manager (under the promotion rate limiter), advances the
+    /// store clock to the end of the drain, and reprices accesses on the
+    /// degraded topology.
+    ///
+    /// `topo` must already carry the failure (the device marked
+    /// offline); pass the same topology the simulation's fault injector
+    /// mutated.
+    pub fn fail_expander(
+        &mut self,
+        topo: &Topology,
+        node: NodeId,
+    ) -> Result<EvacuationReport, TierError> {
+        let report = self.tm.evacuate(node, self.now)?;
+        self.now = self.now.max(report.completed_at);
+        self.apply_topology(topo);
+        self.refresh_epoch();
+        cxl_obs::counter_add("kv/expander_failures_survived", 1);
+        Ok(report)
+    }
+
+    /// Reacts to a capacity-loss fault: shrinks `node`, draining the
+    /// overflow, and reprices on the degraded topology.
+    pub fn shrink_expander(
+        &mut self,
+        topo: &Topology,
+        node: NodeId,
+        new_capacity_bytes: u64,
+    ) -> Result<EvacuationReport, TierError> {
+        let report = self.tm.shrink_node(node, new_capacity_bytes, self.now)?;
+        self.now = self.now.max(report.completed_at);
+        self.apply_topology(topo);
+        self.refresh_epoch();
+        Ok(report)
     }
 
     fn page_index_of_key(&self, key: u64) -> usize {
@@ -320,6 +386,10 @@ impl KvStore {
 
     /// Caches an SSD page into memory, evicting policy-chosen pages as
     /// needed. Returns the number of evictions performed.
+    ///
+    /// Gives up (leaving the page on SSD) when no victim can make room —
+    /// after an evacuation shrank memory, a store must keep serving at
+    /// SSD latency rather than abort.
     fn cache_in(&mut self, page: PageId) -> u64 {
         let mut evictions = 0;
         loop {
@@ -330,8 +400,15 @@ impl KvStore {
                     return evictions;
                 }
                 Err(_) => {
-                    let victim = self.pick_victim().expect("cache_in could not make room");
-                    self.tm.evict_to_ssd(victim);
+                    let Some(victim) = self.pick_victim() else {
+                        cxl_obs::counter_add("kv/cache_in_give_ups", 1);
+                        return evictions;
+                    };
+                    if self.tm.evict_to_ssd(victim).is_err() {
+                        // Stale victim (already spilled, e.g. by an
+                        // evacuation racing the CLOCK ring); try another.
+                        continue;
+                    }
                     evictions += 1;
                 }
             }
@@ -447,7 +524,11 @@ impl KvStore {
         let epoch = self.tm.drain_epoch();
         if dur > SimTime::ZERO {
             // KeyDB stores are regular (allocating) writes, not NT streams.
-            let flows = epoch.flows(self.sys.sockets()[0], dur, false);
+            let mut flows = epoch.flows(self.sys.sockets()[0], dur, false);
+            // Traffic recorded on a node that has since failed cannot be
+            // priced on the degraded topology; drop it (the pages are
+            // gone from that node too).
+            flows.retain(|f| self.sys.node_online(f.node));
             if !flows.is_empty() {
                 let res = self.sys.solve(&flows);
                 for (f, o) in flows.iter().zip(res.flows.iter()) {
@@ -906,5 +987,58 @@ mod tests {
         assert!(ra.latency.count() == OPS && rc.latency.count() == OPS);
         assert!(ra.read_latency.count() < ra.latency.count());
         assert_eq!(rc.read_latency.count(), rc.latency.count());
+    }
+
+    #[test]
+    fn survives_expander_failure_mid_run() {
+        let mut s = interleaved_store(1, 1);
+        let before = s.run(Workload::C, 20_000);
+        assert!(
+            s.tier().node_usage(CXL0).0 > 0,
+            "no pages on CXL before fault"
+        );
+
+        // The expander dies: mark it offline and let the store react.
+        let mut degraded = topo();
+        degraded.cxl_device_mut(CXL0).unwrap().health.online = false;
+        let report = s.fail_expander(&degraded, CXL0).unwrap();
+        assert!(report.total_pages() > 0);
+        assert_eq!(s.tier().node_usage(CXL0), (0, 0));
+        assert_eq!(s.tier().stats().evacuations, 1);
+
+        // The store keeps serving — every op completes, no panic — on
+        // the surviving nodes only.
+        let after = s.run(Workload::C, 20_000);
+        assert_eq!(after.ops, 20_000);
+        assert!(after.throughput_ops > 0.0);
+        assert!(after.latency.mean().is_finite());
+        for (loc, count) in s.residency() {
+            if count > 0 {
+                assert_ne!(loc, Location::Node(CXL0), "page still on failed node");
+            }
+        }
+        // Dropping a tier is survivable, not free or catastrophic.
+        let ratio = after.throughput_ops / before.throughput_ops;
+        assert!(ratio > 0.5, "post-fault throughput collapsed: {ratio}");
+    }
+
+    #[test]
+    fn latency_inflation_fault_reprices_accesses() {
+        let mut s = interleaved_store(1, 1);
+        let healthy = s.run(Workload::C, 20_000);
+
+        // A marginal link retrains and the device doubles its load-to-use
+        // latency; no pages move, only the pricing changes.
+        let mut degraded = topo();
+        degraded.cxl_device_mut(CXL0).unwrap().health.latency_factor = 3.0;
+        s.apply_topology(&degraded);
+        let slow = s.run(Workload::C, 20_000);
+        assert_eq!(slow.ops, 20_000);
+        assert!(
+            slow.throughput_ops < healthy.throughput_ops,
+            "inflated CXL latency did not slow the store: {} vs {}",
+            slow.throughput_ops,
+            healthy.throughput_ops
+        );
     }
 }

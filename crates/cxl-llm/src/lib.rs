@@ -195,13 +195,21 @@ impl LlmCluster {
         full_backends as f64 * backend_bw(tpb) + backend_bw(rem)
     }
 
+    /// Swaps in a degraded topology (downgraded link, inflated latency,
+    /// or a dead expander); serving continues on the recomputed curves,
+    /// rerouting the CXL stripe to DRAM if the expander is offline.
+    pub fn apply_topology(&mut self, topo: &Topology) {
+        self.sys = MemSystem::new(topo);
+    }
+
     fn stripes(&self, placement: LlmPlacement) -> Vec<(NodeId, f64)> {
         let f = placement.dram_fraction();
-        let mut v = vec![(self.dram, f)];
-        if f < 1.0 {
-            v.push((self.cxl, 1.0 - f));
+        // A dead expander collapses every interleave to MMEM-only: the
+        // pages were evacuated to DRAM, and the traffic follows them.
+        if f >= 1.0 || !self.sys.node_online(self.cxl) {
+            return vec![(self.dram, 1.0)];
         }
-        v
+        vec![(self.dram, f), (self.cxl, 1.0 - f)]
     }
 
     /// Serving rate at a total thread count under a placement.
@@ -415,5 +423,55 @@ mod tests {
         assert_eq!(MMEM.label(), "MMEM");
         assert_eq!(I31.label(), "3:1");
         assert_eq!(I13.dram_fraction(), 0.25);
+    }
+
+    fn cxl_node(topo: &Topology) -> NodeId {
+        topo.nodes()
+            .iter()
+            .find(|n| n.tier == MemoryTier::CxlExpander)
+            .expect("topology has a CXL node")
+            .id
+    }
+
+    #[test]
+    fn dead_expander_reroutes_interleave_to_dram() {
+        let mut topo = Topology::snc_domain_with_cxl();
+        let mut c = cluster();
+        let healthy_i31 = c.serving_rate(I31, 60).tokens_per_sec;
+
+        let node = cxl_node(&topo);
+        topo.cxl_device_mut(node).unwrap().health.online = false;
+        c.apply_topology(&topo);
+
+        // Serving continues (no panic, nonzero rate), but every
+        // placement now rides DRAM alone.
+        let degraded = c.serving_rate(I31, 60).tokens_per_sec;
+        let mmem = c.serving_rate(MMEM, 60).tokens_per_sec;
+        assert!(degraded > 0.0);
+        assert_eq!(degraded, mmem, "offline CXL must collapse to MMEM");
+        assert!(
+            degraded < healthy_i31,
+            "losing the expander's bandwidth cannot speed serving up"
+        );
+    }
+
+    #[test]
+    fn link_downgrade_degrades_but_keeps_serving() {
+        let mut topo = Topology::snc_domain_with_cxl();
+        let mut c = cluster();
+        let healthy = c.serving_rate(I13, 72).tokens_per_sec;
+
+        // x16 -> x4 retrain: a quarter of the link bandwidth remains.
+        let node = cxl_node(&topo);
+        topo.cxl_device_mut(node).unwrap().health.lanes_override = Some(4);
+        c.apply_topology(&topo);
+
+        let degraded = c.serving_rate(I13, 72);
+        assert!(degraded.tokens_per_sec > 0.0);
+        assert!(
+            degraded.tokens_per_sec < healthy,
+            "x4 link {} vs x16 {healthy}",
+            degraded.tokens_per_sec
+        );
     }
 }

@@ -39,6 +39,6 @@ pub use curve::QueueModel;
 pub use mix::{AccessMix, Pattern};
 pub use system::{
     solve_cache_reset, solve_cache_stats, Distance, FlowOutcome, FlowSpec, LatencyBreakdown,
-    MemSystem, ResourceKind, SolveCacheStats, SolveResult,
+    MemSystem, PerfError, ResourceKind, SolveCacheStats, SolveResult,
 };
 pub use tuning::PerfTuning;

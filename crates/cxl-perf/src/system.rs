@@ -174,6 +174,43 @@ impl SolveResult {
     }
 }
 
+/// Recoverable failures of the performance model.
+///
+/// Before fault injection existed the solver could assume every node it
+/// was asked about had resources behind it, and `panic!`ed otherwise.
+/// With devices that can go offline mid-run that assumption is an
+/// ordinary runtime condition, so the `try_*` entry points surface it
+/// as a value instead of aborting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerfError {
+    /// The resource graph has no entry of this kind — the topology
+    /// never had it (e.g. UPI on a single-socket machine).
+    MissingResource(ResourceKind),
+    /// The target node's expander is offline; it has capacity 0 and no
+    /// datapath, so no flow can reach it.
+    NodeOffline(NodeId),
+    /// The node id is not part of this topology at all.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for PerfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfError::MissingResource(kind) => {
+                write!(f, "resource {kind:?} not present in this topology")
+            }
+            PerfError::NodeOffline(node) => {
+                write!(f, "node {node:?} is offline (expander failed)")
+            }
+            PerfError::UnknownNode(node) => {
+                write!(f, "node {node:?} does not exist in this topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
 /// Hit/miss counters of the process-wide solve cache (see
 /// [`solve_cache_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -322,6 +359,16 @@ impl MemSystem {
         Self::with_tuning(topo, PerfTuning::default())
     }
 
+    /// True when flows can target the node: DRAM nodes always, CXL
+    /// nodes only while their expander is online. Built once from the
+    /// topology's device health — rebuild the system after a fault.
+    pub fn node_online(&self, node: NodeId) -> bool {
+        match self.nodes.get(node.0) {
+            Some(n) => n.tier != MemoryTier::CxlExpander || self.cxl_params.contains_key(&node),
+            None => false,
+        }
+    }
+
     /// Builds the resource graph with platform overrides (ablations and
     /// next-generation projections).
     ///
@@ -381,6 +428,13 @@ impl MemSystem {
                 MemoryTier::CxlExpander => {
                     let dev = &topo.sockets[n.socket.0].cxl_devices
                         [n.device_index.expect("CXL node must carry a device index")];
+                    if !dev.health.online {
+                        // An offline expander contributes no resources
+                        // and no latency parameters; flows addressed to
+                        // its (still-enumerated) node fail with
+                        // [`PerfError::NodeOffline`].
+                        continue;
+                    }
                     let backing = dev.backing_bandwidth_gbps()
                         * calib::DDR_READ_EFFICIENCY
                         * calib::CXL_BACKING_EFFICIENCY;
@@ -396,7 +450,7 @@ impl MemSystem {
                     cxl_params.insert(
                         n.id,
                         CxlNodeParams {
-                            controller_latency_ns: dev.controller_latency_ns,
+                            controller_latency_ns: dev.effective_controller_latency_ns(),
                         },
                     );
                 }
@@ -478,15 +532,24 @@ impl MemSystem {
         }
     }
 
-    fn res(&self, kind: ResourceKind) -> usize {
-        *self
-            .index
+    fn res(&self, kind: ResourceKind) -> Result<usize, PerfError> {
+        self.index
             .get(&kind)
-            .unwrap_or_else(|| panic!("resource {kind:?} not present in this topology"))
+            .copied()
+            .ok_or(PerfError::MissingResource(kind))
     }
 
-    fn path(&self, from: SocketId, node: NodeId, mix: AccessMix) -> Path {
-        let n = self.node(node).clone();
+    fn path(&self, from: SocketId, node: NodeId, mix: AccessMix) -> Result<Path, PerfError> {
+        let n = self
+            .nodes
+            .get(node.0)
+            .ok_or(PerfError::UnknownNode(node))?
+            .clone();
+        if n.tier == MemoryTier::CxlExpander && !self.cxl_params.contains_key(&node) {
+            // Distinguish "this expander died" from a structurally
+            // missing resource before any segment lookup conflates them.
+            return Err(PerfError::NodeOffline(node));
+        }
         let r = mix.read_fraction;
         let w = mix.write_fraction();
         let wf = write_cost_factor();
@@ -496,32 +559,32 @@ impl MemSystem {
         match n.tier {
             MemoryTier::LocalDram => {
                 segments.push(Segment {
-                    res: self.res(ResourceKind::DdrGroup(node)),
+                    res: self.res(ResourceKind::DdrGroup(node))?,
                     coef: ddr_coef,
                     write_share: w * wf / ddr_coef.max(1e-12),
                 });
             }
             MemoryTier::CxlExpander => {
                 segments.push(Segment {
-                    res: self.res(ResourceKind::CxlBacking(node)),
+                    res: self.res(ResourceKind::CxlBacking(node))?,
                     coef: ddr_coef,
                     write_share: w * wf / ddr_coef.max(1e-12),
                 });
                 if r > 0.0 {
                     segments.push(Segment {
-                        res: self.res(ResourceKind::CxlLinkD2h(node)),
+                        res: self.res(ResourceKind::CxlLinkD2h(node))?,
                         coef: r,
                         write_share: 0.0,
                     });
                 }
                 if w > 0.0 {
                     segments.push(Segment {
-                        res: self.res(ResourceKind::CxlLinkH2d(node)),
+                        res: self.res(ResourceKind::CxlLinkH2d(node))?,
                         coef: w,
                         write_share: 1.0,
                     });
                     segments.push(Segment {
-                        res: self.res(ResourceKind::CxlWriteMsg(node)),
+                        res: self.res(ResourceKind::CxlWriteMsg(node))?,
                         coef: w,
                         write_share: 1.0,
                     });
@@ -540,19 +603,19 @@ impl MemSystem {
             let back = r + w * coh; // Memory socket -> accessor.
             if out > 0.0 {
                 segments.push(Segment {
-                    res: self.res(ResourceKind::UpiDir(from, n.socket)),
+                    res: self.res(ResourceKind::UpiDir(from, n.socket))?,
                     coef: out,
                     write_share: 1.0,
                 });
                 segments.push(Segment {
-                    res: self.res(ResourceKind::UpiWriteCredit(from, n.socket)),
+                    res: self.res(ResourceKind::UpiWriteCredit(from, n.socket))?,
                     coef: w,
                     write_share: 1.0,
                 });
             }
             if back > 0.0 {
                 segments.push(Segment {
-                    res: self.res(ResourceKind::UpiDir(n.socket, from)),
+                    res: self.res(ResourceKind::UpiDir(n.socket, from))?,
                     coef: back,
                     write_share: (w * coh) / back.max(1e-12),
                 });
@@ -569,16 +632,34 @@ impl MemSystem {
             }
         }
 
-        let idle_ns = self.idle_latency_ns(from, node, mix);
-        Path { segments, idle_ns }
+        let idle_ns = self.try_idle_latency_ns(from, node, mix)?;
+        Ok(Path { segments, idle_ns })
     }
 
     /// Idle (unloaded) average access latency for a mix, ns.
     ///
     /// Blends per-operation read and write idle latencies by the mix's
     /// byte fractions, reproducing the §3.2 idle points.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown or offline nodes; use
+    /// [`MemSystem::try_idle_latency_ns`] when either is a live
+    /// possibility.
     pub fn idle_latency_ns(&self, from: SocketId, node: NodeId, mix: AccessMix) -> f64 {
-        let n = self.node(node);
+        self.try_idle_latency_ns(from, node, mix)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`MemSystem::idle_latency_ns`]: errors on
+    /// unknown nodes and offline expanders instead of panicking.
+    pub fn try_idle_latency_ns(
+        &self,
+        from: SocketId,
+        node: NodeId,
+        mix: AccessMix,
+    ) -> Result<f64, PerfError> {
+        let n = self.nodes.get(node.0).ok_or(PerfError::UnknownNode(node))?;
         let remote = n.socket != from;
         let (read_idle, write_idle) = match n.tier {
             MemoryTier::LocalDram => {
@@ -600,7 +681,10 @@ impl MemSystem {
                 (read, write)
             }
             MemoryTier::CxlExpander => {
-                let params = self.cxl_params[&node];
+                let params = self
+                    .cxl_params
+                    .get(&node)
+                    .ok_or(PerfError::NodeOffline(node))?;
                 let base = calib::MMEM_READ_IDLE_NS + params.controller_latency_ns;
                 let read = if remote {
                     base + self.cxl_remote_extra_ns
@@ -615,7 +699,7 @@ impl MemSystem {
                 (read, write)
             }
         };
-        mix.read_fraction * read_idle + mix.write_fraction() * write_idle
+        Ok(mix.read_fraction * read_idle + mix.write_fraction() * write_idle)
     }
 
     /// Solves a set of concurrent flows with max-min water-filling.
@@ -626,7 +710,21 @@ impl MemSystem {
     /// of the Fig. 3 and Fig. 4 panels) solve once. A cached result is
     /// the value the solver produced for that exact key, so caching is
     /// invisible to output — including under parallel execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a flow targets an unknown or offline node; use
+    /// [`MemSystem::try_solve`] when faults may be in play.
     pub fn solve(&self, flows: &[FlowSpec]) -> SolveResult {
+        self.try_solve(flows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`MemSystem::solve`]: a flow addressed to an
+    /// offline expander (or an unknown node) comes back as a
+    /// [`PerfError`] instead of a panic. Successful results share the
+    /// same process-wide memo cache; errors are recomputed (they are
+    /// cheap — path construction fails before any water-filling runs).
+    pub fn try_solve(&self, flows: &[FlowSpec]) -> Result<SolveResult, PerfError> {
         use std::sync::atomic::Ordering;
         let key = SolveKey {
             fingerprint: self.fingerprint,
@@ -641,23 +739,27 @@ impl MemSystem {
             // Wall class: two workers racing on the same cold key can
             // both miss, so the hit/miss split is schedule-dependent.
             cxl_obs::wall_counter_add("perf/solve_cache_hits", 1);
-            return hit.clone();
+            return Ok(hit.clone());
         }
-        let result = self.solve_internal(flows).0;
+        let result = self.solve_internal(flows)?.0;
         SOLVE_MISSES.fetch_add(1, Ordering::Relaxed);
         cxl_obs::wall_counter_add("perf/solve_cache_misses", 1);
         let mut cache = solve_cache().lock().expect("solve cache poisoned");
         if cache.len() < SOLVE_CACHE_CAP {
             cache.insert(key, result.clone());
         }
-        result
+        Ok(result)
     }
 
-    fn solve_internal(&self, flows: &[FlowSpec]) -> (SolveResult, Vec<f64>, Vec<f64>, Vec<Path>) {
+    #[allow(clippy::type_complexity)] // Internal plumbing shared by solve/breakdown.
+    fn solve_internal(
+        &self,
+        flows: &[FlowSpec],
+    ) -> Result<(SolveResult, Vec<f64>, Vec<f64>, Vec<Path>), PerfError> {
         let paths: Vec<Path> = flows
             .iter()
             .map(|f| self.path(f.from, f.node, f.mix))
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         let nres = self.resources.len();
         let mut used = vec![0.0f64; nres]; // Payload-coef bytes consumed.
@@ -750,7 +852,7 @@ impl MemSystem {
             })
             .collect();
 
-        (
+        Ok((
             SolveResult {
                 flows: outcomes,
                 utilization,
@@ -758,7 +860,7 @@ impl MemSystem {
             used,
             write_used,
             paths,
-        )
+        ))
     }
 
     /// Per-resource latency contributions of one flow at the solved
@@ -774,7 +876,8 @@ impl MemSystem {
     /// Panics if `index` is out of range.
     pub fn latency_breakdown(&self, flows: &[FlowSpec], index: usize) -> LatencyBreakdown {
         assert!(index < flows.len(), "flow index out of range");
-        let (result, used, write_used, paths) = self.solve_internal(flows);
+        let (result, used, write_used, paths) =
+            self.solve_internal(flows).unwrap_or_else(|e| panic!("{e}"));
         let mut contributions = Vec::new();
         for seg in &paths[index].segments {
             let res = &self.resources[seg.res];
@@ -798,10 +901,27 @@ impl MemSystem {
         self.solve(std::slice::from_ref(&flow)).flows[0]
     }
 
+    /// Fallible twin of [`MemSystem::loaded_point`].
+    pub fn try_loaded_point(&self, flow: FlowSpec) -> Result<FlowOutcome, PerfError> {
+        Ok(self.try_solve(std::slice::from_ref(&flow))?.flows[0])
+    }
+
     /// Peak achievable bandwidth for a single flow, GB/s.
     pub fn max_bandwidth_gbps(&self, from: SocketId, node: NodeId, mix: AccessMix) -> f64 {
         self.loaded_point(FlowSpec::new(from, node, mix, 10_000.0))
             .achieved_gbps
+    }
+
+    /// Fallible twin of [`MemSystem::max_bandwidth_gbps`].
+    pub fn try_max_bandwidth_gbps(
+        &self,
+        from: SocketId,
+        node: NodeId,
+        mix: AccessMix,
+    ) -> Result<f64, PerfError> {
+        Ok(self
+            .try_loaded_point(FlowSpec::new(from, node, mix, 10_000.0))?
+            .achieved_gbps)
     }
 
     /// Socket ids of the platform.
@@ -1124,5 +1244,108 @@ mod tests {
         let fpga_lat = fpga.idle_latency_ns(s0(), NodeId(1), mix);
         let asic_lat = asic.idle_latency_ns(s0(), NodeId(1), mix);
         assert!(fpga_lat > asic_lat);
+    }
+
+    #[test]
+    fn link_downgrade_moves_peak_but_not_idle_latency() {
+        let healthy = MemSystem::new(&Topology::paper_testbed(SncMode::Disabled));
+        let mut topo = Topology::paper_testbed(SncMode::Disabled);
+        topo.cxl_device_mut(NodeId(2))
+            .expect("expander")
+            .health
+            .lanes_override = Some(8);
+        let degraded = MemSystem::new(&topo);
+        let mix = AccessMix::read_only();
+        let cxl = NodeId(2);
+        // A narrower link lowers the achievable peak (the x8 PCIe
+        // per-direction ceiling binds before the backing DDR)...
+        let bw_h = healthy.max_bandwidth_gbps(s0(), cxl, mix);
+        let bw_d = degraded.max_bandwidth_gbps(s0(), cxl, mix);
+        assert!(
+            bw_d < bw_h * 0.6,
+            "x8 peak {bw_d} should sit well below x16 peak {bw_h}"
+        );
+        // ...but the unloaded datapath latency is untouched.
+        let idle_h = healthy.idle_latency_ns(s0(), cxl, mix);
+        let idle_d = degraded.idle_latency_ns(s0(), cxl, mix);
+        assert!((idle_h - idle_d).abs() < 1e-9);
+        // The other expander is unaffected.
+        let bw_other = degraded.max_bandwidth_gbps(s0(), NodeId(3), mix);
+        assert!((bw_other - bw_h).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_inflation_raises_idle_latency() {
+        let mut topo = Topology::paper_testbed(SncMode::Disabled);
+        topo.cxl_device_mut(NodeId(2))
+            .expect("expander")
+            .health
+            .latency_factor = 2.0;
+        let degraded = MemSystem::new(&topo);
+        let mix = AccessMix::read_only();
+        let idle = degraded.idle_latency_ns(s0(), NodeId(2), mix);
+        // 97 ns DRAM + 2 x 153.4 ns controller ≈ 403.8 ns.
+        assert!(
+            (idle - (calib::MMEM_READ_IDLE_NS + 2.0 * 153.4)).abs() < 1e-6,
+            "idle {idle}"
+        );
+    }
+
+    #[test]
+    fn offline_expander_solves_as_error_not_panic() {
+        let mut topo = Topology::paper_testbed(SncMode::Disabled);
+        topo.cxl_device_mut(NodeId(2))
+            .expect("expander")
+            .health
+            .online = false;
+        let sys = MemSystem::new(&topo);
+        assert!(!sys.node_online(NodeId(2)));
+        assert!(sys.node_online(NodeId(0)));
+        assert!(sys.node_online(NodeId(3)));
+        let mix = AccessMix::read_only();
+        let err = sys
+            .try_solve(&[FlowSpec::new(s0(), NodeId(2), mix, 10.0)])
+            .expect_err("offline node must not solve");
+        assert_eq!(err, PerfError::NodeOffline(NodeId(2)));
+        assert_eq!(
+            sys.try_idle_latency_ns(s0(), NodeId(2), mix),
+            Err(PerfError::NodeOffline(NodeId(2)))
+        );
+        // The rest of the machine still solves normally.
+        let ok = sys
+            .try_solve(&[FlowSpec::new(s0(), NodeId(3), mix, 10.0)])
+            .expect("healthy expander serves");
+        assert!(ok.flows[0].achieved_gbps > 9.9);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let sys = sys();
+        let mix = AccessMix::read_only();
+        assert_eq!(
+            sys.try_idle_latency_ns(s0(), NodeId(99), mix),
+            Err(PerfError::UnknownNode(NodeId(99)))
+        );
+        assert!(sys
+            .try_solve(&[FlowSpec::new(s0(), NodeId(99), mix, 1.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn degraded_system_gets_its_own_cache_fingerprint() {
+        let healthy = MemSystem::new(&Topology::paper_testbed(SncMode::Disabled));
+        let mut topo = Topology::paper_testbed(SncMode::Disabled);
+        topo.cxl_device_mut(NodeId(2))
+            .expect("expander")
+            .health
+            .lanes_override = Some(4);
+        let degraded = MemSystem::new(&topo);
+        let mix = AccessMix::read_only();
+        let flow = [FlowSpec::new(s0(), NodeId(2), mix, 10_000.0)];
+        // Same flow key, different fingerprint: the memoized healthy
+        // answer must not leak into the degraded solve.
+        let bw_h = healthy.solve(&flow).flows[0].achieved_gbps;
+        let bw_d = degraded.solve(&flow).flows[0].achieved_gbps;
+        assert!(bw_d < bw_h * 0.5, "healthy {bw_h} degraded {bw_d}");
     }
 }

@@ -25,6 +25,7 @@
 //! writes plus migration copies) into `cxl-perf` [`cxl_perf::FlowSpec`]s
 //! so applications can price memory accesses under contention.
 
+pub mod error;
 pub mod manager;
 pub mod migration;
 pub mod page;
@@ -33,7 +34,8 @@ pub mod stats;
 pub mod trace;
 pub mod traffic;
 
-pub use manager::{AccessOutcome, OutOfMemory, Rw, TierConfig, TierManager};
+pub use error::TierError;
+pub use manager::{AccessOutcome, EvacuationReport, OutOfMemory, Rw, TierConfig, TierManager};
 pub use migration::{BandwidthAwareConfig, HotPageConfig, MigrationMode, NumaBalancingConfig};
 pub use page::{Location, PageId};
 pub use policy::AllocPolicy;

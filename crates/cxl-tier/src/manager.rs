@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use cxl_sim::{SimTime, TokenBucket};
 use cxl_topology::{MemoryTier, NodeId, SocketId, Topology};
 
+use crate::error::TierError;
 use crate::migration::MigrationMode;
 use crate::page::{Location, PageId, PageMeta};
 use crate::policy::{AllocPolicy, PolicyCursor};
@@ -95,6 +96,36 @@ impl std::fmt::Display for OutOfMemory {
 
 impl std::error::Error for OutOfMemory {}
 
+/// Outcome of draining pages off a node (see [`TierManager::evacuate`]
+/// and [`TierManager::shrink_node`]).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct EvacuationReport {
+    /// The node that was drained.
+    pub node: NodeId,
+    /// Pages relocated to surviving DRAM/CXL nodes.
+    pub pages_moved: u64,
+    /// Pages that spilled to SSD because no node had room.
+    pub pages_to_ssd: u64,
+    /// Virtual time the drain started.
+    pub started_at: SimTime,
+    /// Virtual time the rate-limited drain completes: the drained bytes
+    /// are charged against the promotion rate limiter, so this trails
+    /// `started_at` by `excess bytes / promote rate`.
+    pub completed_at: SimTime,
+}
+
+impl EvacuationReport {
+    /// Total pages that left the node.
+    pub fn total_pages(&self) -> u64 {
+        self.pages_moved + self.pages_to_ssd
+    }
+
+    /// Rate-limited drain duration.
+    pub fn duration(&self) -> SimTime {
+        self.completed_at.saturating_sub(self.started_at)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct NodeInfo {
     id: NodeId,
@@ -133,13 +164,27 @@ impl TierManager {
     ///
     /// # Panics
     ///
-    /// Panics if the policy references nodes missing from the topology,
-    /// or the watermark is outside `(0, 1]`.
+    /// Panics if the configuration is invalid; see
+    /// [`TierManager::try_new`] for the error-returning form.
     pub fn new(topo: &Topology, cfg: TierConfig) -> Self {
-        assert!(
-            cfg.demotion_watermark > 0.0 && cfg.demotion_watermark <= 1.0,
-            "watermark out of range"
-        );
+        Self::try_new(topo, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a manager for a topology, rejecting invalid
+    /// configurations: a policy referencing nodes missing from the
+    /// topology, a demotion watermark outside `(0, 1]`, or an
+    /// inconsistent bandwidth-aware migration config (see
+    /// [`crate::BandwidthAwareConfig::validate`]).
+    pub fn try_new(topo: &Topology, cfg: TierConfig) -> Result<Self, TierError> {
+        if !(cfg.demotion_watermark > 0.0 && cfg.demotion_watermark <= 1.0) {
+            return Err(TierError::InvalidConfig(format!(
+                "watermark out of range: {} not in (0, 1]",
+                cfg.demotion_watermark
+            )));
+        }
+        if let MigrationMode::BandwidthAware(b) = &cfg.migration {
+            b.validate()?;
+        }
         let nodes: Vec<NodeInfo> = topo
             .nodes()
             .iter()
@@ -160,20 +205,23 @@ impl TierManager {
             })
             .collect();
         let check = |id: &NodeId| {
-            assert!(
-                nodes.iter().any(|n| n.id == *id),
-                "policy references unknown node {id:?}"
-            );
+            if nodes.iter().any(|n| n.id == *id) {
+                Ok(())
+            } else {
+                Err(TierError::InvalidConfig(format!(
+                    "policy references unknown node {id:?}"
+                )))
+            }
         };
         match &cfg.policy {
-            AllocPolicy::Bind(v) => v.iter().for_each(check),
+            AllocPolicy::Bind(v) => v.iter().try_for_each(check)?,
             AllocPolicy::Preferred { node, fallback } => {
-                check(node);
-                fallback.iter().for_each(check);
+                check(node)?;
+                fallback.iter().try_for_each(check)?;
             }
             AllocPolicy::InterleaveNm { top, low, .. } => {
-                top.iter().for_each(check);
-                low.iter().for_each(check);
+                top.iter().try_for_each(check)?;
+                low.iter().try_for_each(check)?;
             }
         }
         let (promo_bucket, hot_threshold) = match &cfg.migration {
@@ -194,7 +242,7 @@ impl TierManager {
         };
         let rings = vec![VecDeque::new(); nodes.len()];
         let cursor = PolicyCursor::new(cfg.policy.clone());
-        Self {
+        Ok(Self {
             cfg,
             nodes,
             pages: Vec::new(),
@@ -210,7 +258,7 @@ impl TierManager {
             stats: TierStats::default(),
             dram_bw_util: 0.0,
             trace: None,
-        }
+        })
     }
 
     /// Enables event tracing with a bounded ring of `capacity` events.
@@ -319,17 +367,24 @@ impl TierManager {
     /// `vm.numa_tier_interleave` sysctl (§2.3). Only subsequent
     /// allocations are affected; resident pages stay where they are.
     ///
-    /// # Panics
-    ///
-    /// Panics if the current policy is not an N:M interleave or the new
-    /// cycle is empty.
-    pub fn set_interleave(&mut self, n: u32, m: u32) {
-        assert!(n + m > 0, "N:M interleave needs a nonzero cycle");
+    /// Errors (leaving the policy unchanged) if the current policy is
+    /// not an N:M interleave or the new cycle is empty — these used to
+    /// abort the process, but a bad sysctl write should never take the
+    /// serving path down with it.
+    pub fn set_interleave(&mut self, n: u32, m: u32) -> Result<(), TierError> {
+        if n + m == 0 {
+            return Err(TierError::InvalidConfig(
+                "N:M interleave needs a nonzero cycle".to_string(),
+            ));
+        }
         let AllocPolicy::InterleaveNm { top, low, .. } = self.cfg.policy.clone() else {
-            panic!("set_interleave requires an InterleaveNm policy");
+            return Err(TierError::WrongPolicy(
+                "set_interleave requires an InterleaveNm policy",
+            ));
         };
         self.cfg.policy = AllocPolicy::interleave(top, low, n, m);
         self.cursor = PolicyCursor::new(self.cfg.policy.clone());
+        Ok(())
     }
 
     /// Allocates one page per the placement policy.
@@ -652,13 +707,13 @@ impl TierManager {
     /// Explicitly evicts a page to SSD (application-managed tiering, e.g.
     /// KeyDB FLASH cold-value eviction).
     ///
-    /// # Panics
-    ///
-    /// Panics if the page is already on SSD.
-    pub fn evict_to_ssd(&mut self, page: PageId) {
+    /// Errors if the page is already on SSD; under concurrent eviction
+    /// pressure (or an evacuation racing an application's own cold-value
+    /// logic) a stale victim choice is routine, not fatal.
+    pub fn evict_to_ssd(&mut self, page: PageId) -> Result<(), TierError> {
         let meta = &mut self.pages[page.0 as usize];
         let Location::Node(node) = meta.location else {
-            panic!("page {page:?} already on SSD");
+            return Err(TierError::AlreadyOnSsd(page));
         };
         meta.location = Location::Ssd;
         meta.hint_installed = false;
@@ -670,6 +725,7 @@ impl TierManager {
             SimTime::ZERO.max(self.last_trace_time()),
             TierEvent::EvictedToSsd { page },
         );
+        Ok(())
     }
 
     fn last_trace_time(&self) -> SimTime {
@@ -683,18 +739,16 @@ impl TierManager {
 
     /// Loads a page back from SSD via the allocation policy.
     ///
-    /// # Panics
-    ///
-    /// Panics if the page is not on SSD.
-    pub fn load_from_ssd(&mut self, page: PageId, now: SimTime) -> Result<(), OutOfMemory> {
-        assert!(
-            self.pages[page.0 as usize].location.is_ssd(),
-            "page {page:?} not on SSD"
-        );
+    /// Errors with [`TierError::NotOnSsd`] if the page is resident, or
+    /// [`TierError::OutOfMemory`] when no policy node has room.
+    pub fn load_from_ssd(&mut self, page: PageId, now: SimTime) -> Result<(), TierError> {
+        if !self.pages[page.0 as usize].location.is_ssd() {
+            return Err(TierError::NotOnSsd(page));
+        }
         let candidates = self.cursor.next_candidates();
         let target = candidates.into_iter().find(|&n| self.has_room(n));
         let Some(target) = target else {
-            return Err(OutOfMemory);
+            return Err(TierError::OutOfMemory(OutOfMemory));
         };
         let meta = &mut self.pages[page.0 as usize];
         meta.location = Location::Node(target);
@@ -707,6 +761,137 @@ impl TierManager {
         self.epoch.record_access(target, self.cfg.page_size, true);
         self.record_trace(now, TierEvent::LoadedFromSsd { page, to: target });
         Ok(())
+    }
+
+    /// Drains every resident page off `node` and fences it against
+    /// future placements — the graceful-degradation path a failing
+    /// expander triggers.
+    ///
+    /// The node's capacity drops to zero first (the allocator, demotion
+    /// targeting, and SSD reload all test capacity, so nothing new can
+    /// land while the drain runs), then resident pages move in id order
+    /// to the best surviving node — other non-top-tier nodes first,
+    /// preferring the accessor socket, then DRAM — and spill to SSD once
+    /// nothing has room. The drained bytes are charged against the
+    /// promotion rate limiter, so the report's `completed_at` reflects
+    /// the same migration budget ordinary promotions compete for, and
+    /// promotions right after a fault find the bucket drained.
+    ///
+    /// Errors with [`TierError::OutOfMemory`] when the survivors cannot
+    /// absorb the pages and SSD spill is disabled; pages moved before
+    /// the error stay moved (the node is already fenced, so a retry
+    /// after freeing memory makes progress).
+    pub fn evacuate(&mut self, node: NodeId, now: SimTime) -> Result<EvacuationReport, TierError> {
+        if node.0 >= self.nodes.len() {
+            return Err(TierError::UnknownNode(node));
+        }
+        self.nodes[node.0].capacity_pages = 0;
+        self.drain_node(node, 0, now)
+    }
+
+    /// Shrinks `node` to `new_capacity_bytes`, draining overflow pages
+    /// exactly like [`TierManager::evacuate`] — the partial-failure
+    /// variant for capacity-loss faults (rows of backing DRAM mapped
+    /// out rather than a dead device).
+    pub fn shrink_node(
+        &mut self,
+        node: NodeId,
+        new_capacity_bytes: u64,
+        now: SimTime,
+    ) -> Result<EvacuationReport, TierError> {
+        if node.0 >= self.nodes.len() {
+            return Err(TierError::UnknownNode(node));
+        }
+        let new_pages = new_capacity_bytes / self.cfg.page_size;
+        if new_pages < self.nodes[node.0].capacity_pages {
+            self.nodes[node.0].capacity_pages = new_pages;
+        }
+        self.drain_node(node, new_pages, now)
+    }
+
+    /// Moves all but the first `keep_pages` resident pages (in id
+    /// order) off `node`; shared tail of evacuate/shrink.
+    fn drain_node(
+        &mut self,
+        node: NodeId,
+        keep_pages: u64,
+        now: SimTime,
+    ) -> Result<EvacuationReport, TierError> {
+        let victims: Vec<PageId> = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.freed && m.location == Location::Node(node))
+            .map(|(i, _)| PageId(i as u64))
+            .skip(keep_pages as usize)
+            .collect();
+        let mut moved = 0u64;
+        let mut to_ssd = 0u64;
+        for pid in victims {
+            match self.evacuation_target(node) {
+                Some(target) => {
+                    self.move_page(pid, node, target, now);
+                    moved += 1;
+                }
+                None if self.cfg.allow_ssd_spill => {
+                    self.evict_to_ssd(pid)
+                        .expect("evacuation victim is resident");
+                    to_ssd += 1;
+                }
+                None => return Err(TierError::OutOfMemory(OutOfMemory)),
+            }
+        }
+        if keep_pages == 0 {
+            // A fully fenced node never yields its stale ring entries
+            // again; free them instead of leaving them to lazy deletion.
+            self.rings[node.0].clear();
+        }
+
+        // Charge the drained bytes against the promotion budget: burst
+        // absorbs what it can now, the remainder extends the drain at
+        // the configured rate.
+        let total_pages = moved + to_ssd;
+        let total_bytes = (total_pages * self.cfg.page_size) as f64;
+        let completed_at = match self.promo_bucket.as_mut() {
+            Some(b) if total_bytes > 0.0 => {
+                let take = b.available(now).min(total_bytes);
+                if take > 0.0 {
+                    b.try_take(now, take);
+                }
+                now + SimTime::from_secs_f64((total_bytes - take) / b.rate_per_sec())
+            }
+            _ => now,
+        };
+
+        self.stats.evacuations += 1;
+        self.stats.evacuated_pages += total_pages;
+        self.stats.evacuated_to_ssd += to_ssd;
+        if cxl_obs::active() {
+            cxl_obs::counter_add("tier/evacuations", 1);
+            cxl_obs::counter_add("tier/evacuated_pages", total_pages);
+            cxl_obs::counter_add("tier/evacuated_to_ssd", to_ssd);
+            cxl_obs::record("tier/evacuation_duration_ns", (completed_at - now).as_ns());
+        }
+        Ok(EvacuationReport {
+            node,
+            pages_moved: moved,
+            pages_to_ssd: to_ssd,
+            started_at: now,
+            completed_at,
+        })
+    }
+
+    /// Picks where an evacuated page should land: any surviving node
+    /// with room, non-top-tier first (evacuated pages were already
+    /// cold enough to live on an expander), preferring the accessor
+    /// socket, lowest id as the tiebreak.
+    fn evacuation_target(&self, failed: NodeId) -> Option<NodeId> {
+        let prefer = self.cfg.accessor_socket;
+        self.nodes
+            .iter()
+            .filter(|n| n.id != failed && n.used_pages < n.capacity_pages)
+            .min_by_key(|n| (n.tier.is_top_tier(), n.socket != prefer, n.id.0))
+            .map(|n| n.id)
     }
 
     /// Samples per-node occupancy into `tier/node{N}/occupancy_pages`
@@ -1056,7 +1241,7 @@ mod tests {
         cfg.allow_ssd_spill = true;
         let mut tm = TierManager::new(&topo(), cfg);
         let p = tm.alloc(SimTime::ZERO).unwrap();
-        tm.evict_to_ssd(p);
+        tm.evict_to_ssd(p).unwrap();
         assert!(tm.location(p).is_ssd());
         assert_eq!(tm.node_usage(DRAM0).0, 0);
         tm.load_from_ssd(p, SimTime::from_ms(1)).unwrap();
@@ -1105,7 +1290,7 @@ mod tests {
             tm.alloc(SimTime::ZERO).unwrap();
         }
         let p = tm.alloc(SimTime::ZERO).unwrap();
-        tm.evict_to_ssd(p);
+        tm.evict_to_ssd(p).unwrap();
         let res = tm.residency();
         let total: u64 = res.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 11);
@@ -1239,17 +1424,20 @@ mod tests {
         tm.alloc_n(100, SimTime::ZERO).unwrap();
         assert_eq!(tm.node_usage(DRAM0).0, 50);
         // Retune to 3:1 like echoing into the sysctl.
-        tm.set_interleave(3, 1);
+        tm.set_interleave(3, 1).unwrap();
         tm.alloc_n(100, SimTime::ZERO).unwrap();
         assert_eq!(tm.node_usage(DRAM0).0, 125);
         assert_eq!(tm.node_usage(CXL0).0, 75);
     }
 
     #[test]
-    #[should_panic(expected = "requires an InterleaveNm policy")]
     fn set_interleave_requires_interleave_policy() {
         let mut tm = TierManager::new(&topo(), TierConfig::bind(vec![DRAM0]));
-        tm.set_interleave(1, 1);
+        let err = tm
+            .set_interleave(1, 1)
+            .expect_err("bind policy must reject");
+        assert!(matches!(err, TierError::WrongPolicy(_)), "{err:?}");
+        assert!(err.to_string().contains("requires an InterleaveNm policy"));
     }
 
     #[test]
@@ -1380,5 +1568,122 @@ mod tests {
         assert_eq!(h.max(), 7);
         // Zero-capacity nodes are not sampled.
         assert!(reg.histogram("tier/node1/occupancy_pages").is_none());
+    }
+
+    #[test]
+    fn evacuate_moves_every_page_and_fences_the_node() {
+        let mut cfg = TierConfig::bind(vec![CXL0]);
+        cfg.capacity_override = small_caps(8, 8);
+        let mut tm = TierManager::new(&topo(), cfg);
+        tm.alloc_n(8, SimTime::ZERO).unwrap();
+        assert_eq!(tm.node_usage(CXL0).0, 8);
+
+        let report = tm.evacuate(CXL0, SimTime::from_ms(1)).unwrap();
+        assert_eq!(report.pages_moved, 8);
+        assert_eq!(report.pages_to_ssd, 0);
+        assert_eq!(report.total_pages(), 8);
+        // Only DRAM0 has room, so every page lands there.
+        assert_eq!(tm.node_usage(CXL0), (0, 0));
+        assert_eq!(tm.node_usage(DRAM0).0, 8);
+        assert_eq!(tm.stats().evacuations, 1);
+        assert_eq!(tm.stats().evacuated_pages, 8);
+        // The fenced node rejects future placements.
+        assert!(tm.alloc(SimTime::from_ms(2)).is_err());
+    }
+
+    #[test]
+    fn evacuation_prefers_surviving_expander_over_dram() {
+        let mut cfg = TierConfig::bind(vec![NodeId(2)]);
+        cfg.capacity_override = vec![
+            (NodeId(0), 64 * 4096),
+            (NodeId(1), 64 * 4096),
+            (NodeId(2), 64 * 4096),
+            (NodeId(3), 64 * 4096),
+        ];
+        let mut tm = TierManager::new(&two_socket_cxl_topo(), cfg);
+        tm.alloc_n(6, SimTime::ZERO).unwrap();
+        tm.evacuate(NodeId(2), SimTime::from_ms(1)).unwrap();
+        // Node 3 is the surviving expander (CXL on socket 1); cold
+        // evacuated pages should stay off DRAM while it has room.
+        assert_eq!(tm.node_usage(NodeId(3)).0, 6);
+        assert_eq!(tm.node_usage(NodeId(0)).0, 0);
+        assert_eq!(tm.node_usage(NodeId(1)).0, 0);
+    }
+
+    #[test]
+    fn evacuation_spills_to_ssd_when_survivors_are_full() {
+        let mut cfg = TierConfig::bind(vec![CXL0]);
+        cfg.capacity_override = small_caps(2, 4);
+        cfg.allow_ssd_spill = true;
+        let mut tm = TierManager::new(&topo(), cfg);
+        tm.alloc_n(4, SimTime::ZERO).unwrap();
+        let report = tm.evacuate(CXL0, SimTime::from_ms(1)).unwrap();
+        assert_eq!(report.pages_moved, 2);
+        assert_eq!(report.pages_to_ssd, 2);
+        assert_eq!(tm.node_usage(DRAM0).0, 2);
+        assert_eq!(tm.stats().evacuated_to_ssd, 2);
+        let on_ssd = tm
+            .residency()
+            .iter()
+            .find(|&&(l, _)| l == Location::Ssd)
+            .map(|&(_, c)| c);
+        assert_eq!(on_ssd, Some(2));
+    }
+
+    #[test]
+    fn evacuation_without_spill_errors_when_survivors_are_full() {
+        let mut cfg = TierConfig::bind(vec![CXL0]);
+        cfg.capacity_override = small_caps(2, 4);
+        cfg.allow_ssd_spill = false;
+        let mut tm = TierManager::new(&topo(), cfg);
+        tm.alloc_n(4, SimTime::ZERO).unwrap();
+        let err = tm.evacuate(CXL0, SimTime::from_ms(1)).expect_err("no room");
+        assert!(matches!(err, TierError::OutOfMemory(_)), "{err:?}");
+        // The node stays fenced even though the drain was partial, so a
+        // retry after freeing memory makes progress.
+        assert_eq!(tm.node_usage(CXL0).1, 0);
+    }
+
+    #[test]
+    fn evacuation_is_charged_against_the_promotion_budget() {
+        let mut cfg = TierConfig::bind(vec![CXL0]);
+        cfg.capacity_override = small_caps(16, 16);
+        cfg.migration = MigrationMode::HotPageSelection(HotPageConfig {
+            // 1 page/s budget with a one-second (1-page) burst.
+            promote_rate_limit_bytes_per_sec: 4096.0,
+            ..Default::default()
+        });
+        let mut tm = TierManager::new(&topo(), cfg);
+        tm.alloc_n(8, SimTime::ZERO).unwrap();
+        let report = tm.evacuate(CXL0, SimTime::from_secs(1)).unwrap();
+        // Burst covers 1 page instantly; the other 7 drain at 1 page/s.
+        assert_eq!(report.started_at, SimTime::from_secs(1));
+        assert_eq!(report.completed_at, SimTime::from_secs(8));
+        assert_eq!(report.duration(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn shrink_node_drains_only_the_overflow() {
+        let mut cfg = TierConfig::bind(vec![CXL0]);
+        cfg.capacity_override = small_caps(8, 4);
+        let mut tm = TierManager::new(&topo(), cfg);
+        tm.alloc_n(4, SimTime::ZERO).unwrap();
+        let report = tm.shrink_node(CXL0, 2 * 4096, SimTime::from_ms(1)).unwrap();
+        assert_eq!(report.pages_moved, 2);
+        assert_eq!(tm.node_usage(CXL0), (2, 2));
+        assert_eq!(tm.node_usage(DRAM0).0, 2);
+        // Growing back via shrink_node is a no-op on capacity.
+        let report = tm
+            .shrink_node(CXL0, 64 * 4096, SimTime::from_ms(2))
+            .unwrap();
+        assert_eq!(report.total_pages(), 0);
+        assert_eq!(tm.node_usage(CXL0), (2, 2));
+    }
+
+    #[test]
+    fn evacuate_unknown_node_is_an_error() {
+        let mut tm = TierManager::new(&topo(), TierConfig::bind(vec![DRAM0]));
+        let err = tm.evacuate(NodeId(9), SimTime::ZERO).expect_err("bad node");
+        assert!(matches!(err, TierError::UnknownNode(NodeId(9))), "{err:?}");
     }
 }

@@ -112,6 +112,40 @@ impl Default for BandwidthAwareConfig {
     }
 }
 
+impl BandwidthAwareConfig {
+    /// Checks the config is internally consistent.
+    ///
+    /// A `low_watermark >= high_watermark` makes the promote/demote
+    /// hysteresis band empty (the manager would oscillate every tick),
+    /// and `demote_batch == 0` silently turns the above-watermark
+    /// demotion into a no-op. Both used to be accepted and misbehave
+    /// quietly; now they are rejected where the config is used
+    /// ([`crate::TierManager::try_new`]).
+    pub fn validate(&self) -> Result<(), crate::TierError> {
+        // NaN watermarks fall through to the range check below.
+        if self.low_watermark >= self.high_watermark {
+            return Err(crate::TierError::InvalidConfig(format!(
+                "bandwidth-aware watermarks must satisfy low < high, got low {} >= high {}",
+                self.low_watermark, self.high_watermark
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.low_watermark) || !(0.0..=1.0).contains(&self.high_watermark)
+        {
+            return Err(crate::TierError::InvalidConfig(format!(
+                "bandwidth-aware watermarks must lie in [0, 1], got low {} high {}",
+                self.low_watermark, self.high_watermark
+            )));
+        }
+        if self.demote_batch == 0 {
+            return Err(crate::TierError::InvalidConfig(
+                "bandwidth-aware demote_batch must be nonzero (0 disables demotion silently)"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +163,29 @@ mod tests {
         let c = BandwidthAwareConfig::default();
         assert!(c.low_watermark < c.high_watermark);
         assert!(c.demote_batch > 0);
+    }
+
+    #[test]
+    fn inverted_watermarks_are_rejected() {
+        let mut c = BandwidthAwareConfig::default();
+        assert!(c.validate().is_ok());
+        c.low_watermark = 0.80;
+        c.high_watermark = 0.75;
+        let err = c.validate().expect_err("low >= high must be rejected");
+        assert!(err.to_string().contains("low < high"), "{err}");
+        // Equal watermarks leave no hysteresis band either.
+        c.low_watermark = 0.75;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_demote_batch_is_rejected() {
+        let c = BandwidthAwareConfig {
+            demote_batch: 0,
+            ..Default::default()
+        };
+        let err = c.validate().expect_err("demote_batch 0 must be rejected");
+        assert!(err.to_string().contains("demote_batch"), "{err}");
     }
 
     #[test]

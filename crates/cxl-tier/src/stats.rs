@@ -38,6 +38,13 @@ pub struct TierStats {
     pub ssd_loads: u64,
     /// Bytes copied by migrations (promotions + demotions).
     pub migration_bytes: u64,
+    /// Node drains run (full evacuations plus capacity shrinks).
+    pub evacuations: u64,
+    /// Pages drained off failing/shrinking nodes (any destination).
+    pub evacuated_pages: u64,
+    /// Evacuated pages that had to spill to SSD because no surviving
+    /// node had room.
+    pub evacuated_to_ssd: u64,
 }
 
 impl TierStats {

@@ -1,0 +1,143 @@
+//! Property tests for [`cxl_tier::TierManager::evacuate`].
+//!
+//! Pins the invariants graceful degradation rests on: draining a failed
+//! expander leaves no page behind on it, never loses or invents pages
+//! (the population is conserved across DRAM, surviving CXL, and SSD),
+//! and accounts migration traffic exactly (`migration_bytes` grows by
+//! pages moved × page size — SSD spills are not migrations and must not
+//! inflate it).
+
+use cxl_sim::SimTime;
+use cxl_tier::{Location, TierConfig, TierError, TierManager};
+use cxl_topology::{NodeId, SncMode, Topology};
+use proptest::prelude::*;
+
+/// SNC-disabled paper testbed: 0,1 = DRAM sockets; 2,3 = CXL on s0.
+const DRAM0: NodeId = NodeId(0);
+const CXL0: NodeId = NodeId(2);
+const CXL1: NodeId = NodeId(3);
+const PAGE: u64 = 4096;
+
+fn total_pages(tm: &TierManager) -> u64 {
+    tm.residency().iter().map(|&(_, c)| c).sum()
+}
+
+fn pages_on(tm: &TierManager, loc: Location) -> u64 {
+    tm.residency()
+        .iter()
+        .find(|&&(l, _)| l == loc)
+        .map_or(0, |&(_, c)| c)
+}
+
+proptest! {
+    #[test]
+    fn evacuation_conserves_pages_and_accounts_bytes(
+        dram_pages in 0u64..12,
+        cxl0_pages in 1u64..24,
+        cxl1_pages in 0u64..12,
+        allocs in 1u64..40,
+        frees in prop::collection::vec(0u64..40, 0..12),
+        spill in any::<bool>(),
+    ) {
+        let mut cfg = TierConfig::bind(vec![CXL0, DRAM0]);
+        cfg.allow_ssd_spill = spill;
+        cfg.capacity_override = vec![
+            (DRAM0, dram_pages * PAGE),
+            (NodeId(1), 0),
+            (CXL0, cxl0_pages * PAGE),
+            (CXL1, cxl1_pages * PAGE),
+        ];
+        let mut tm = TierManager::new(&Topology::paper_testbed(SncMode::Disabled), cfg);
+
+        // Fill (allocation may legitimately run out of room), then poke
+        // holes so the drain walks a non-contiguous resident set.
+        let mut pages = Vec::new();
+        for _ in 0..allocs {
+            match tm.alloc(SimTime::ZERO) {
+                Ok(p) => pages.push(p),
+                Err(_) => break,
+            }
+        }
+        for &f in &frees {
+            if let Some(&p) = pages.get(f as usize) {
+                if tm.location(p) != Location::Ssd && !pages.is_empty() {
+                    tm.free(p);
+                    pages.retain(|&q| q != p);
+                }
+            }
+        }
+
+        let before_total = total_pages(&tm);
+        let before_ssd = pages_on(&tm, Location::Ssd);
+        let before_bytes = tm.stats().migration_bytes;
+
+        match tm.evacuate(CXL0, SimTime::from_ms(1)) {
+            Ok(report) => {
+                // 1. No page remains on the failed node, and it cannot
+                //    take new ones.
+                prop_assert_eq!(pages_on(&tm, Location::Node(CXL0)), 0);
+                prop_assert_eq!(tm.node_usage(CXL0), (0, 0));
+                for &p in &pages {
+                    prop_assert_ne!(tm.location(p), Location::Node(CXL0));
+                }
+
+                // 2. The page population is conserved across tiers.
+                prop_assert_eq!(total_pages(&tm), before_total);
+                prop_assert_eq!(
+                    pages_on(&tm, Location::Ssd),
+                    before_ssd + report.pages_to_ssd
+                );
+
+                // 3. Migration bytes grow by exactly the node-to-node
+                //    moves; SSD spills are not migrations.
+                prop_assert_eq!(
+                    tm.stats().migration_bytes - before_bytes,
+                    report.pages_moved * PAGE
+                );
+                prop_assert_eq!(
+                    tm.stats().evacuated_pages,
+                    report.pages_moved + report.pages_to_ssd
+                );
+            }
+            Err(e) => {
+                // Only possible when SSD spill is off and the survivors
+                // are full — and even then nothing may be lost.
+                prop_assert!(!spill, "spill-enabled evacuation failed: {e}");
+                prop_assert!(matches!(e, TierError::OutOfMemory(_)), "{e:?}");
+                prop_assert_eq!(total_pages(&tm), before_total);
+                let moved_bytes = tm.stats().migration_bytes - before_bytes;
+                prop_assert_eq!(moved_bytes % PAGE, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_preserves_population_and_capacity_bound(
+        cxl0_pages in 2u64..24,
+        keep in 0u64..24,
+        allocs in 1u64..30,
+    ) {
+        let mut cfg = TierConfig::bind(vec![CXL0]);
+        cfg.allow_ssd_spill = true;
+        cfg.capacity_override = vec![
+            (DRAM0, 4 * PAGE),
+            (NodeId(1), 0),
+            (CXL0, cxl0_pages * PAGE),
+            (CXL1, 0),
+        ];
+        let mut tm = TierManager::new(&Topology::paper_testbed(SncMode::Disabled), cfg);
+        for _ in 0..allocs {
+            if tm.alloc(SimTime::ZERO).is_err() {
+                break;
+            }
+        }
+        let before_total = total_pages(&tm);
+        let report = tm.shrink_node(CXL0, keep * PAGE, SimTime::from_ms(1)).unwrap();
+        prop_assert_eq!(total_pages(&tm), before_total);
+        let (used, cap) = tm.node_usage(CXL0);
+        prop_assert!(used <= cap, "shrunk node over capacity: {used} > {cap}");
+        prop_assert!(used <= keep.min(cxl0_pages));
+        prop_assert_eq!(report.started_at, SimTime::from_ms(1));
+        prop_assert!(report.completed_at >= report.started_at);
+    }
+}

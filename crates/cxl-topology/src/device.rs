@@ -1,5 +1,6 @@
 //! CXL device and link descriptions.
 
+use crate::health::DeviceHealth;
 use serde::{Deserialize, Serialize};
 
 /// DDR memory generation/speed, determining per-channel bandwidth.
@@ -95,6 +96,10 @@ pub struct CxlDevice {
     /// The paper measures 73.6 % for the A1000 ASIC versus ~60 % for
     /// FPGA-based controllers (§3.4).
     pub link_efficiency: f64,
+    /// Mutable degradation state; [`DeviceHealth::healthy`] for a
+    /// factory-fresh part. The nominal fields above never change — the
+    /// `effective_*` accessors fold the health in.
+    pub health: DeviceHealth,
 }
 
 impl CxlDevice {
@@ -111,6 +116,7 @@ impl CxlDevice {
             // controller + PCIe datapath adds ~153 ns.
             controller_latency_ns: 153.4,
             link_efficiency: 0.736,
+            health: DeviceHealth::healthy(),
         }
     }
 
@@ -125,17 +131,45 @@ impl CxlDevice {
             capacity_gib: 256,
             controller_latency_ns: 350.0,
             link_efficiency: 0.60,
+            health: DeviceHealth::healthy(),
         }
     }
 
-    /// Effective unidirectional link bandwidth in GB/s after headers.
+    /// Lane count after any health-driven link downgrade (never above
+    /// the nominal width; 0 when the device is offline).
+    pub fn effective_lanes(&self) -> u32 {
+        if !self.health.online {
+            return 0;
+        }
+        self.health
+            .lanes_override
+            .map_or(self.link.lanes, |l| l.min(self.link.lanes))
+    }
+
+    /// Effective unidirectional link bandwidth in GB/s after headers,
+    /// accounting for link downgrades and offline state.
     pub fn effective_link_bandwidth_gbps(&self) -> f64 {
-        self.link.raw_bandwidth_gbps() * self.link_efficiency
+        let raw = self.link.gts_per_lane * self.effective_lanes() as f64 / 8.0;
+        raw * self.link_efficiency
     }
 
     /// Theoretical peak of the backing DDR channels in GB/s.
     pub fn backing_bandwidth_gbps(&self) -> f64 {
         self.ddr_gen.channel_bandwidth_gbps() * self.ddr_channels as f64
+    }
+
+    /// Controller latency contribution after any health-driven
+    /// inflation (thermal throttling, retry storms).
+    pub fn effective_controller_latency_ns(&self) -> f64 {
+        self.controller_latency_ns * self.health.latency_factor
+    }
+
+    /// Capacity still mapped in, in GiB (0 when offline).
+    pub fn effective_capacity_gib(&self) -> u64 {
+        if !self.health.online {
+            return 0;
+        }
+        (self.capacity_gib as f64 * self.health.capacity_fraction).floor() as u64
     }
 }
 
@@ -169,6 +203,39 @@ mod tests {
         let eff = d.effective_link_bandwidth_gbps();
         assert!((eff - 47.104).abs() < 1e-3, "eff={eff}");
         assert!((d.backing_bandwidth_gbps() - 76.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_downgrade_halves_effective_bandwidth() {
+        let mut d = CxlDevice::a1000();
+        let healthy = d.effective_link_bandwidth_gbps();
+        d.health.lanes_override = Some(8);
+        assert_eq!(d.effective_lanes(), 8);
+        assert!((d.effective_link_bandwidth_gbps() - healthy / 2.0).abs() < 1e-9);
+        // Overrides never widen the link past its nominal lanes.
+        d.health.lanes_override = Some(32);
+        assert_eq!(d.effective_lanes(), 16);
+    }
+
+    #[test]
+    fn offline_device_has_no_bandwidth_or_capacity() {
+        let mut d = CxlDevice::a1000();
+        d.health.online = false;
+        assert_eq!(d.effective_lanes(), 0);
+        assert_eq!(d.effective_link_bandwidth_gbps(), 0.0);
+        assert_eq!(d.effective_capacity_gib(), 0);
+    }
+
+    #[test]
+    fn latency_and_capacity_degradations_scale() {
+        let mut d = CxlDevice::a1000();
+        d.health.latency_factor = 2.0;
+        d.health.capacity_fraction = 0.5;
+        assert!((d.effective_controller_latency_ns() - 2.0 * 153.4).abs() < 1e-9);
+        assert_eq!(d.effective_capacity_gib(), 128);
+        // Nominal fields are untouched.
+        assert!((d.controller_latency_ns - 153.4).abs() < 1e-12);
+        assert_eq!(d.capacity_gib, 256);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Mutable device/link health state for fault injection.
+//!
+//! Every [`crate::CxlDevice`] carries a [`DeviceHealth`] describing how
+//! far it has degraded from its nominal configuration: the link may have
+//! retrained to fewer lanes, the controller may be inflating latency
+//! under thermal throttling, rows of backing DRAM may be mapped out, or
+//! the whole expander may be offline. The nominal fields on the device
+//! are never mutated, so recovery (or a what-if comparison against the
+//! healthy machine) is always possible by resetting the health.
+//!
+//! Consumers read the `effective_*` accessors on [`crate::CxlDevice`]
+//! rather than the raw fields; a healthy device reports exactly its
+//! nominal values, so code written before fault injection existed keeps
+//! its behavior bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+/// Degradation state of one CXL expander.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceHealth {
+    /// Whether the device responds at all. An offline expander
+    /// contributes zero capacity and zero bandwidth; flows addressed to
+    /// it are errors, not stalls.
+    pub online: bool,
+    /// Lane count the link has retrained down to, if degraded
+    /// (x16 → x8 → x4). `None` means the nominal width. Values above the
+    /// nominal lane count are clamped when applied.
+    pub lanes_override: Option<u32>,
+    /// Multiplier on the controller latency (thermal throttling, retry
+    /// storms). `1.0` is healthy; must be ≥ 1.0.
+    pub latency_factor: f64,
+    /// Fraction of nominal capacity still mapped in. `1.0` is healthy;
+    /// row/rank failures shrink it toward 0.
+    pub capacity_fraction: f64,
+}
+
+impl Default for DeviceHealth {
+    fn default() -> Self {
+        Self::healthy()
+    }
+}
+
+impl DeviceHealth {
+    /// A fully healthy device: online, nominal lanes, no inflation.
+    pub fn healthy() -> Self {
+        Self {
+            online: true,
+            lanes_override: None,
+            latency_factor: 1.0,
+            capacity_fraction: 1.0,
+        }
+    }
+
+    /// True when every field is at its nominal value.
+    pub fn is_healthy(&self) -> bool {
+        self.online
+            && self.lanes_override.is_none()
+            && self.latency_factor == 1.0
+            && self.capacity_fraction == 1.0
+    }
+
+    /// Short human tag for reports: `"offline"`, `"x8 link"`,
+    /// `"2.0x latency"`, `"50% capacity"`, or combinations.
+    pub fn describe(&self) -> String {
+        if !self.online {
+            return "offline".to_string();
+        }
+        let mut parts = Vec::new();
+        if let Some(l) = self.lanes_override {
+            parts.push(format!("x{l} link"));
+        }
+        if self.latency_factor != 1.0 {
+            parts.push(format!("{:.1}x latency", self.latency_factor));
+        }
+        if self.capacity_fraction != 1.0 {
+            parts.push(format!("{:.0}% capacity", 100.0 * self.capacity_fraction));
+        }
+        if parts.is_empty() {
+            "healthy".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_healthy() {
+        let h = DeviceHealth::default();
+        assert!(h.is_healthy());
+        assert_eq!(h.describe(), "healthy");
+    }
+
+    #[test]
+    fn describe_composes_degradations() {
+        let h = DeviceHealth {
+            online: true,
+            lanes_override: Some(8),
+            latency_factor: 2.0,
+            capacity_fraction: 0.5,
+        };
+        let d = h.describe();
+        assert!(d.contains("x8 link"), "{d}");
+        assert!(d.contains("2.0x latency"), "{d}");
+        assert!(d.contains("50% capacity"), "{d}");
+        assert!(!h.is_healthy());
+    }
+
+    #[test]
+    fn offline_wins_over_everything() {
+        let h = DeviceHealth {
+            online: false,
+            ..DeviceHealth::healthy()
+        };
+        assert_eq!(h.describe(), "offline");
+        assert!(!h.is_healthy());
+    }
+}

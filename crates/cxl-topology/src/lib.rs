@@ -23,11 +23,13 @@
 
 pub mod builder;
 pub mod device;
+pub mod health;
 pub mod node;
 pub mod socket;
 
 pub use builder::TopologyBuilder;
 pub use device::{CxlDevice, DdrGeneration, PcieLink};
+pub use health::DeviceHealth;
 pub use node::{MemoryTier, NodeId, NumaNode};
 pub use socket::{Socket, SocketId, UpiLink};
 
@@ -147,7 +149,13 @@ impl Topology {
                     socket: s.id,
                     tier: MemoryTier::CxlExpander,
                     ddr_channels: dev.ddr_channels,
-                    capacity_gib: dev.capacity_gib,
+                    // Offline or partially failed devices shrink (or
+                    // zero) their node's capacity, but the node itself
+                    // stays in the enumeration so NodeIds remain dense
+                    // and stable across a fault — exactly like Linux,
+                    // where a dead expander's node lingers with no
+                    // usable pages.
+                    capacity_gib: dev.effective_capacity_gib(),
                     channel_bw_gbps: dev.ddr_gen.channel_bandwidth_gbps(),
                     domain_index: 0,
                     device_index: Some(di),
@@ -189,14 +197,20 @@ impl Topology {
                 MemoryTier::CxlExpander => {
                     let dev = &self.sockets[n.socket.0].cxl_devices
                         [n.device_index.expect("CXL node carries device index")];
+                    let health = if dev.health.is_healthy() {
+                        String::new()
+                    } else {
+                        format!("  [{}]", dev.health.describe())
+                    };
                     out.push_str(&format!(
-                        "node {}: CXL   socket {} ({})  {} GiB  link {:.0} GB/s raw x {:.1}% eff\n",
+                        "node {}: CXL   socket {} ({})  {} GiB  link {:.0} GB/s raw x {:.1}% eff{}\n",
                         n.id.0,
                         n.socket.0,
                         dev.name,
                         n.capacity_gib,
                         dev.link.raw_bandwidth_gbps(),
-                        100.0 * dev.link_efficiency
+                        100.0 * dev.link_efficiency,
+                        health
                     ));
                 }
             }
@@ -237,6 +251,32 @@ impl Topology {
             .into_iter()
             .filter(|n| n.socket == socket && n.tier == MemoryTier::CxlExpander)
             .collect()
+    }
+
+    /// Resolves a CXL node id to its `(socket index, device index)`
+    /// position, or `None` for DRAM/unknown nodes.
+    fn cxl_device_pos(&self, node: NodeId) -> Option<(usize, usize)> {
+        self.nodes().into_iter().find_map(|n| {
+            (n.id == node && n.tier == MemoryTier::CxlExpander).then(|| {
+                (
+                    n.socket.0,
+                    n.device_index.expect("CXL node carries device index"),
+                )
+            })
+        })
+    }
+
+    /// The CXL device backing a node, or `None` for DRAM/unknown nodes.
+    pub fn cxl_device(&self, node: NodeId) -> Option<&CxlDevice> {
+        let (s, d) = self.cxl_device_pos(node)?;
+        Some(&self.sockets[s].cxl_devices[d])
+    }
+
+    /// Mutable access to the CXL device backing a node — the hook fault
+    /// injection uses to flip [`DeviceHealth`] fields.
+    pub fn cxl_device_mut(&mut self, node: NodeId) -> Option<&mut CxlDevice> {
+        let (s, d) = self.cxl_device_pos(node)?;
+        Some(&mut self.sockets[s].cxl_devices[d])
     }
 }
 
@@ -323,6 +363,44 @@ mod tests {
         assert!(d.contains("AsteraLabs A1000"));
         assert!(d.contains("73.6% eff"));
         assert!(d.contains("SNC domains/socket: 4"));
+    }
+
+    #[test]
+    fn offline_expander_keeps_node_ids_stable() {
+        let mut t = Topology::paper_testbed(SncMode::Disabled);
+        let before = t.nodes();
+        t.cxl_device_mut(NodeId(2))
+            .expect("node 2 is the first expander")
+            .health
+            .online = false;
+        let after = t.nodes();
+        assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.id, a.id);
+            assert_eq!(b.tier, a.tier);
+        }
+        assert_eq!(after[2].capacity_gib, 0);
+        assert_eq!(after[3].capacity_gib, 256, "other expander unaffected");
+        assert!(t.describe().contains("[offline]"));
+    }
+
+    #[test]
+    fn cxl_device_lookup_rejects_dram_nodes() {
+        let mut t = Topology::paper_testbed(SncMode::Disabled);
+        assert!(t.cxl_device(NodeId(0)).is_none());
+        assert!(t.cxl_device(NodeId(99)).is_none());
+        assert!(t.cxl_device_mut(NodeId(1)).is_none());
+        assert_eq!(t.cxl_device(NodeId(2)).map(|d| d.capacity_gib), Some(256));
+    }
+
+    #[test]
+    fn capacity_loss_shrinks_node() {
+        let mut t = Topology::paper_testbed(SncMode::Disabled);
+        t.cxl_device_mut(NodeId(3))
+            .expect("node 3 is the second expander")
+            .health
+            .capacity_fraction = 0.25;
+        assert_eq!(t.nodes()[3].capacity_gib, 64);
     }
 
     #[test]
