@@ -17,16 +17,15 @@ use cxl_topology::{
 /// A projected CXL 2.0 expander: Gen6 x16, 4 x DDR5-5600, same ASIC
 /// controller latency class as the A1000.
 fn gen6_device() -> CxlDevice {
-    CxlDevice {
-        name: "Gen6 ASIC projection".to_string(),
-        link: PcieLink::gen6_x16(),
-        ddr_channels: 4,
-        ddr_gen: DdrGeneration::Ddr5_5600,
-        capacity_gib: 512,
-        controller_latency_ns: 153.4,
-        link_efficiency: 0.736,
-        health: cxl_topology::DeviceHealth::healthy(),
-    }
+    CxlDevice::new(
+        "Gen6 ASIC projection",
+        PcieLink::gen6_x16(),
+        4,
+        DdrGeneration::Ddr5_5600,
+        512,
+        153.4,
+        0.736,
+    )
 }
 
 fn snc_domain_with(dev: CxlDevice) -> Topology {

@@ -8,7 +8,7 @@
 use cxl_bench::emit;
 use cxl_cost::placement::{simulate, PlacementConfig};
 use cxl_cost::pooling::evaluate;
-use cxl_cost::{AppClass, CostModelParams, FleetMixture, PoolingConfig};
+use cxl_cost::{AppClass, CostModelParams, DemandModel, FleetMixture, PoolingConfig};
 use cxl_stats::report::Table;
 
 fn main() {
@@ -111,6 +111,40 @@ fn main() {
             sized.pool_gib,
             100.0 * placed.rejection_rate(),
             placed.peak_pool_used_gib,
+        ));
+        // Dynamic cross-validation: replay the question with the
+        // `cxl-pool` control plane (queuing, revocation, rate-limited
+        // drains) and compare three savings for the same traces.
+        let cfg = cxl_pool::PoolSimConfig::default();
+        let dynamic = cxl_pool::run(&cfg);
+        let model = evaluate(PoolingConfig {
+            hosts: cfg.hosts,
+            demand: DemandModel {
+                mean_gib: dynamic.demand_mean_gib,
+                std_gib: dynamic.demand_std_gib,
+            },
+            percentile: cfg.slo_percentile,
+            local_dram_gib: cfg.local_dram_gib as f64,
+            seed: cfg.seed,
+            ..Default::default()
+        });
+        let fixed = (cfg.hosts as u64 * cfg.local_dram_gib) as f64;
+        let ideal_saving = 1.0 - (fixed + dynamic.ideal_pool_gib) / dynamic.static_total_gib;
+        out.push_str(&format!(
+            "\n# dynamic cross-validation ({} hosts, {} GiB pool, bursty traces):\n\
+             #   realized saving (cxl-pool sim)      {:.1}%\n\
+             #   perfect-liquidity trace bound       {:.1}%  (>= realized: {})\n\
+             #   static normal-marginal model        {:.1}%\n\
+             # the static model diverges from the trace bound because it\n\
+             # assumes a normal demand marginal; the simulated traces are\n\
+             # bimodal (base + bursts), so the normal p99 understates the\n\
+             # per-host burst peak and with it the no-pool baseline.\n",
+            cfg.hosts,
+            cfg.pool_gib,
+            100.0 * dynamic.capacity_saving,
+            100.0 * ideal_saving,
+            ideal_saving >= dynamic.capacity_saving - 1e-9,
+            100.0 * model.capacity_saving,
         ));
         out
     });

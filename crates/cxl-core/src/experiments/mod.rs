@@ -14,6 +14,7 @@
 //! | [`slo`] | Open-loop tail-latency capacity per placement |
 //! | [`replication`] | Multi-seed mean ± std for any experiment metric |
 //! | [`faults`] | Graceful degradation: KeyDB across expander faults of rising severity |
+//! | [`pool`] | §7.1 projection: dynamic multi-host pooling vs static per-host provisioning |
 
 pub mod balancer;
 pub mod colocation;
@@ -22,6 +23,7 @@ pub mod faults;
 pub mod keydb;
 pub mod latency;
 pub mod llm;
+pub mod pool;
 pub mod processors;
 pub mod replication;
 pub mod slo;

@@ -1,0 +1,54 @@
+//! Typed errors for the cost models.
+//!
+//! User-supplied fleet descriptions (mixture weights, class lists) are
+//! ordinary runtime inputs, not caller bugs, so malformed ones surface
+//! as [`CostError`] values instead of panics — the same convention as
+//! `TierError`/`PerfError`. The panicking constructors remain as thin
+//! wrappers for literal, known-good inputs.
+
+/// A recoverable cost-model input failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostError {
+    /// A mixture needs at least one class.
+    EmptyMixture,
+    /// Fleet fractions must sum to 1; carries the actual total.
+    UnnormalizedWeights(f64),
+    /// A class's fleet fraction is zero or negative; carries the class
+    /// name.
+    NonPositiveWeight(String),
+}
+
+impl std::fmt::Display for CostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostError::EmptyMixture => write!(f, "mixture needs at least one class"),
+            CostError::UnnormalizedWeights(total) => {
+                write!(f, "fleet fractions must sum to 1, got {total}")
+            }
+            CostError::NonPositiveWeight(name) => {
+                write!(f, "class {name} has non-positive weight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_panic_phrases() {
+        // Callers that upgraded from catching panics grep these.
+        assert!(CostError::EmptyMixture
+            .to_string()
+            .contains("at least one class"));
+        assert!(CostError::UnnormalizedWeights(0.5)
+            .to_string()
+            .contains("sum to 1"));
+        assert!(CostError::NonPositiveWeight("kv".into())
+            .to_string()
+            .contains("non-positive weight"));
+    }
+}

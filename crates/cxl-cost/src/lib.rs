@@ -17,7 +17,10 @@
 //!   sizing of a shared expander pool and its cost saving.
 //! * [`placement`] — a discrete VM-placement simulation cross-validating
 //!   the pooling quantile model operationally.
+//! * [`error`] — typed input-validation errors ([`CostError`]) for
+//!   user-supplied fleet descriptions.
 
+pub mod error;
 pub mod mixture;
 pub mod model;
 pub mod placement;
@@ -25,6 +28,7 @@ pub mod pooling;
 pub mod processors;
 pub mod revenue;
 
+pub use error::CostError;
 pub use mixture::{AppClass, FleetMixture};
 pub use model::{CostModel, CostModelParams};
 pub use pooling::{DemandModel, PoolingConfig, PoolingOutcome};

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::CostError;
 use crate::model::{CostModel, CostModelParams};
 
 /// One application class within a fleet.
@@ -35,22 +36,26 @@ impl FleetMixture {
     /// # Panics
     ///
     /// Panics if there are no classes, a weight is non-positive, or the
-    /// weights do not sum to 1 (±1e-6).
+    /// weights do not sum to 1 (±1e-6). Use
+    /// [`FleetMixture::try_new`] for user-supplied fleet descriptions.
     pub fn new(classes: Vec<AppClass>) -> Self {
-        assert!(!classes.is_empty(), "mixture needs at least one class");
-        let total: f64 = classes.iter().map(|c| c.fleet_fraction).sum();
-        assert!(
-            (total - 1.0).abs() < 1e-6,
-            "fleet fractions must sum to 1, got {total}"
-        );
-        for c in &classes {
-            assert!(
-                c.fleet_fraction > 0.0,
-                "class {} has non-positive weight",
-                c.name
-            );
+        Self::try_new(classes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`FleetMixture::new`]: malformed fleet
+    /// descriptions come back as a [`CostError`] instead of a panic.
+    pub fn try_new(classes: Vec<AppClass>) -> Result<Self, CostError> {
+        if classes.is_empty() {
+            return Err(CostError::EmptyMixture);
         }
-        Self { classes }
+        let total: f64 = classes.iter().map(|c| c.fleet_fraction).sum();
+        if (total - 1.0).abs() >= 1e-6 {
+            return Err(CostError::UnnormalizedWeights(total));
+        }
+        if let Some(c) = classes.iter().find(|c| c.fleet_fraction <= 0.0) {
+            return Err(CostError::NonPositiveWeight(c.name.clone()));
+        }
+        Ok(Self { classes })
     }
 
     /// The classes.
@@ -91,14 +96,18 @@ impl FleetMixture {
     /// The class with the largest absolute contribution to fleet savings
     /// (weight × saving).
     pub fn biggest_contributor(&self) -> &AppClass {
-        self.classes
-            .iter()
-            .max_by(|a, b| {
-                let sa = a.fleet_fraction * CostModel::new(a.params).tco_saving();
-                let sb = b.fleet_fraction * CostModel::new(b.params).tco_saving();
-                sa.total_cmp(&sb)
-            })
-            .expect("non-empty mixture")
+        let score = |c: &AppClass| c.fleet_fraction * CostModel::new(c.params).tco_saving();
+        // `try_new` rejects empty class lists, so the fold has a seed.
+        let (mut best, rest) = match self.classes.split_first() {
+            Some(parts) => parts,
+            None => unreachable!("FleetMixture::try_new guarantees at least one class"),
+        };
+        for c in rest {
+            if score(c) >= score(best) {
+                best = c;
+            }
+        }
+        best
     }
 }
 
@@ -161,5 +170,26 @@ mod tests {
     #[should_panic(expected = "at least one class")]
     fn empty_mixture_rejected() {
         FleetMixture::new(vec![]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert_eq!(
+            FleetMixture::try_new(vec![]).unwrap_err(),
+            crate::error::CostError::EmptyMixture
+        );
+        let err = FleetMixture::try_new(vec![class("a", 0.5, 10.0, 8.0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::CostError::UnnormalizedWeights(t) if (t - 0.5).abs() < 1e-12
+        ));
+        let mut bad = vec![class("a", 1.0, 10.0, 8.0), class("b", 0.0, 10.0, 8.0)];
+        bad[0].fleet_fraction = 1.0;
+        let err = FleetMixture::try_new(bad).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::CostError::NonPositiveWeight(n) if n == "b"
+        ));
+        assert!(FleetMixture::try_new(vec![class("kv", 1.0, 10.0, 8.0)]).is_ok());
     }
 }

@@ -1,0 +1,138 @@
+//! Property tests for the pooling and revenue models.
+//!
+//! The pooling sizing is a Monte-Carlo quantile study, so the classic
+//! statistical-multiplexing laws it encodes — more hosts multiplex
+//! better, wider demand needs a larger pool — should hold across the
+//! whole configuration space, not just the defaults the unit tests pin.
+//! The revenue model is closed-form, so its monotonicities are exact.
+
+use cxl_cost::pooling::evaluate;
+use cxl_cost::{DemandModel, PoolingConfig, RevenueModel};
+use proptest::prelude::*;
+
+fn cfg(hosts: usize, mean: f64, std: f64, samples: usize) -> PoolingConfig {
+    PoolingConfig {
+        hosts,
+        demand: DemandModel {
+            mean_gib: mean,
+            std_gib: std,
+        },
+        percentile: 0.99,
+        local_dram_gib: mean,
+        cxl_cost_per_gib_rel: 0.9,
+        samples,
+        seed: 42,
+    }
+}
+
+proptest! {
+    /// More hosts sharing one pool → capacity saving non-decreasing.
+    ///
+    /// Uncorrelated peaks align ever more rarely as the pool fans out,
+    /// so quadrupling the host count must not shrink the saving. The
+    /// small tolerance absorbs Monte-Carlo quantile noise (the two
+    /// host counts consume their sample streams differently).
+    #[test]
+    fn more_hosts_saving_non_decreasing(
+        hosts in 1usize..9,
+        mean in 128.0..768.0f64,
+        rel_std in 0.08..0.45f64,
+    ) {
+        let std = mean * rel_std;
+        let small = evaluate(cfg(hosts, mean, std, 4_000));
+        let large = evaluate(cfg(hosts * 4, mean, std, 4_000));
+        prop_assert!(
+            large.capacity_saving >= small.capacity_saving - 0.05,
+            "hosts {} saving {} vs hosts {} saving {}",
+            hosts,
+            small.capacity_saving,
+            hosts * 4,
+            large.capacity_saving
+        );
+    }
+
+    /// Higher demand variance → larger pool.
+    ///
+    /// With base DRAM sized at the mean, each sample's pool excess is
+    /// `(z·σ)⁺` for a shared `z` draw, which is pointwise non-decreasing
+    /// in σ — so the p99 pool size is monotone exactly, not just in
+    /// expectation.
+    #[test]
+    fn higher_variance_needs_a_larger_pool(
+        hosts in 1usize..17,
+        mean in 128.0..768.0f64,
+        rel_std in 0.05..0.30f64,
+        widen in 1.05..4.0f64,
+    ) {
+        let narrow = evaluate(cfg(hosts, mean, mean * rel_std, 2_000));
+        let wide = evaluate(cfg(hosts, mean, mean * rel_std * widen, 2_000));
+        prop_assert!(
+            wide.pool_gib >= narrow.pool_gib - 1e-9,
+            "σ {} pool {} vs σ {} pool {}",
+            mean * rel_std,
+            narrow.pool_gib,
+            mean * rel_std * widen,
+            wide.pool_gib
+        );
+    }
+
+    /// Pooling outcomes stay internally consistent: the pool never
+    /// exceeds what per-host provisioning would install, and the
+    /// capacity saving matches its defining totals.
+    #[test]
+    fn pooling_outcome_is_internally_consistent(
+        hosts in 1usize..17,
+        mean in 128.0..768.0f64,
+        rel_std in 0.0..0.45f64,
+    ) {
+        let out = evaluate(cfg(hosts, mean, mean * rel_std, 2_000));
+        prop_assert!(out.pool_gib >= 0.0);
+        prop_assert!(out.total_pool_gib <= out.total_no_pool_gib + 1e-9);
+        prop_assert!(out.capacity_saving >= -1e-9 && out.capacity_saving < 1.0);
+        let recomputed = 1.0 - out.total_pool_gib / out.total_no_pool_gib;
+        prop_assert!((out.capacity_saving - recomputed).abs() < 1e-12);
+    }
+
+    /// Revenue model: more installed memory strands fewer vCPUs and
+    /// needs less CXL backfill (exact, closed-form).
+    #[test]
+    fn more_memory_strands_fewer_vcpus(
+        vcpus in 16u32..256,
+        mem in 1u32..2048,
+        extra in 1u32..512,
+    ) {
+        let a = RevenueModel { vcpus, memory_gib: mem, gib_per_vcpu: 4.0, cxl_discount: 0.2 };
+        let b = RevenueModel { vcpus, memory_gib: mem + extra, ..a };
+        prop_assert!(b.stranded_vcpus() <= a.stranded_vcpus());
+        prop_assert!(b.required_cxl_gib() <= a.required_cxl_gib());
+        prop_assert!(b.revenue_uplift() <= a.revenue_uplift() + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&a.revenue_loss()));
+    }
+
+    /// Revenue model: a deeper discount recovers less of the stranded
+    /// revenue, and the uplift is bounded by the undiscounted loss ratio.
+    #[test]
+    fn deeper_discount_recovers_less(
+        vcpus in 16u32..256,
+        mem in 1u32..1024,
+        d1 in 0.0..0.9f64,
+        widen in 0.01..0.5f64,
+    ) {
+        let shallow = RevenueModel {
+            vcpus,
+            memory_gib: mem,
+            gib_per_vcpu: 4.0,
+            cxl_discount: d1,
+        };
+        let deep = RevenueModel {
+            cxl_discount: (d1 + widen).min(1.0),
+            ..shallow
+        };
+        prop_assert!(deep.revenue_uplift() <= shallow.revenue_uplift() + 1e-12);
+        prop_assert!((shallow.recovery_fraction() - (1.0 - d1)).abs() < 1e-12);
+        if shallow.sellable_vcpus() > 0.0 {
+            let cap = shallow.stranded_vcpus() / shallow.sellable_vcpus();
+            prop_assert!(shallow.revenue_uplift() <= cap + 1e-12);
+        }
+    }
+}

@@ -346,6 +346,9 @@ pub struct MemSystem {
 #[derive(Debug, Clone, Copy)]
 struct CxlNodeParams {
     controller_latency_ns: f64,
+    /// Round-trip latency of a CXL switch between host and device
+    /// (0.0 for the direct-attached testbed expanders).
+    switch_hop_ns: f64,
 }
 
 impl MemSystem {
@@ -451,6 +454,7 @@ impl MemSystem {
                         n.id,
                         CxlNodeParams {
                             controller_latency_ns: dev.effective_controller_latency_ns(),
+                            switch_hop_ns: dev.switch_hop_ns,
                         },
                     );
                 }
@@ -685,7 +689,8 @@ impl MemSystem {
                     .cxl_params
                     .get(&node)
                     .ok_or(PerfError::NodeOffline(node))?;
-                let base = calib::MMEM_READ_IDLE_NS + params.controller_latency_ns;
+                let base =
+                    calib::MMEM_READ_IDLE_NS + params.controller_latency_ns + params.switch_hop_ns;
                 let read = if remote {
                     base + self.cxl_remote_extra_ns
                 } else {
@@ -966,6 +971,24 @@ mod tests {
         // Remote NT write-only idles at 71.77 ns.
         let wr = AccessMix::write_only();
         assert!((m.idle_latency_ns(s0(), dram_remote(), wr) - 71.77).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_hop_raises_cxl_idle_latency_exactly() {
+        let direct = MemSystem::new(&Topology::pooled_host(256, 256, 0.0));
+        let pooled = MemSystem::new(&Topology::pooled_host(256, 256, 70.0));
+        let read = AccessMix::read_only();
+        let pool_node = NodeId(1);
+        let d = direct.idle_latency_ns(s0(), pool_node, read);
+        let p = pooled.idle_latency_ns(s0(), pool_node, read);
+        assert!((p - d - 70.0).abs() < 1e-9, "direct {d} pooled {p}");
+        // NT writes post at the host bridge and never cross the switch.
+        let wr = AccessMix::write_only();
+        let dw = direct.idle_latency_ns(s0(), pool_node, wr);
+        let pw = pooled.idle_latency_ns(s0(), pool_node, wr);
+        assert!((dw - pw).abs() < 1e-9, "NT write direct {dw} pooled {pw}");
+        // The solve cache must never mix the two models.
+        assert_ne!(direct.fingerprint, pooled.fingerprint);
     }
 
     #[test]

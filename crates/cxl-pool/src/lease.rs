@@ -1,0 +1,67 @@
+//! Lease identity and bookkeeping for pooled capacity.
+//!
+//! Each host holds at most one lease against the pool; the lease grows
+//! and shrinks as the pool manager grants, reclaims, and revokes
+//! capacity. Keeping a single mutable lease per host mirrors how the
+//! host side consumes it — one far-memory NUMA node whose capacity is
+//! resized — while the pool side tracks the backing extents per lease
+//! in [`crate::PoolAddressSpace`].
+
+use serde::Serialize;
+
+/// Identifier of a lease in the pool manager. One per host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct LeaseId(pub u64);
+
+/// Identifier of a simulated host attached to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct HostId(pub usize);
+
+impl HostId {
+    /// The lease a host's capacity is booked under (1:1 mapping).
+    pub fn lease(&self) -> LeaseId {
+        LeaseId(self.0 as u64)
+    }
+}
+
+/// Mutable per-host lease record kept by the pool manager.
+#[derive(Debug, Clone, Serialize)]
+pub struct Lease {
+    /// Owning host.
+    pub host: HostId,
+    /// Slabs currently granted.
+    pub granted_slabs: u64,
+    /// Slabs the host asked for but has not (yet) been granted.
+    pub pending_slabs: u64,
+    /// Cumulative slabs ever granted to this lease.
+    pub total_granted_slabs: u64,
+    /// Cumulative slabs revoked from this lease by the manager.
+    pub total_revoked_slabs: u64,
+}
+
+impl Lease {
+    /// A fresh, empty lease for `host`.
+    pub fn new(host: HostId) -> Self {
+        Self {
+            host,
+            granted_slabs: 0,
+            pending_slabs: 0,
+            total_granted_slabs: 0,
+            total_revoked_slabs: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_maps_to_stable_lease_id() {
+        assert_eq!(HostId(0).lease(), LeaseId(0));
+        assert_eq!(HostId(7).lease(), LeaseId(7));
+        let l = Lease::new(HostId(3));
+        assert_eq!(l.host, HostId(3));
+        assert_eq!(l.granted_slabs, 0);
+    }
+}

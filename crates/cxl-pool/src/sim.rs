@@ -1,0 +1,620 @@
+//! Discrete-event simulation of N hosts sharing one switch-attached
+//! pool.
+//!
+//! Every `step`, each host (in host-id order — the source of run-to-run
+//! determinism) re-reads its demand trace, resizes its pool lease
+//! through the [`PoolManager`], and adjusts its page population through
+//! its own `cxl-tier` manager, where the leased window appears as a
+//! far NUMA node whose capacity tracks the lease
+//! ([`TierManager::grow_node`] / [`TierManager::shrink_node`]).
+//! Revocations drain through the tier layer's rate-limited migration
+//! path, and the reclaimed slabs reach queued hosts only when the drain
+//! completes — lease waits include real data movement, not just queue
+//! position. An optional expander fault tears the whole pool down
+//! mid-run and every host degrades onto local DRAM + SSD.
+//!
+//! The same demand traces are replayed against a *static* deployment
+//! (each host owns DRAM sized at its own demand percentile, no pool) to
+//! measure the capacity/SLO trade the paper's §7.1 pooling argument
+//! rests on.
+
+use cxl_fault::FaultKind;
+use cxl_obs as obs;
+use cxl_perf::{AccessMix, MemSystem};
+use cxl_sim::{Engine, SimTime};
+use cxl_tier::{PageId, TierConfig, TierManager};
+use cxl_topology::{NodeId, SocketId, Topology};
+use serde::Serialize;
+
+use crate::demand::{DemandConfig, DemandProcess};
+use crate::lease::HostId;
+use crate::manager::{Grant, PoolManager, PoolStats, RevocationNotice};
+
+/// DRAM node id inside each host's [`Topology::pooled_host`].
+pub const DRAM_NODE: NodeId = NodeId(0);
+/// Pool-window node id inside each host's [`Topology::pooled_host`].
+pub const POOL_NODE: NodeId = NodeId(1);
+
+const GIB: u64 = 1 << 30;
+
+/// Configuration of one pooling simulation.
+#[derive(Debug, Clone, Serialize)]
+pub struct PoolSimConfig {
+    /// Hosts sharing the pool.
+    pub hosts: usize,
+    /// Local DRAM per host, GiB (sized for the base working set).
+    pub local_dram_gib: u64,
+    /// Shared pool capacity, GiB.
+    pub pool_gib: u64,
+    /// Lease granularity, GiB per slab.
+    pub slab_gib: u64,
+    /// Switch round-trip added to pooled accesses, ns.
+    pub switch_hop_ns: f64,
+    /// Simulated page size in bytes — coarse (64 MiB) so a terabyte-scale
+    /// fleet stays tractable; the studied behaviour is granularity-
+    /// invariant.
+    pub page_bytes: u64,
+    /// Per-host demand process (each host draws its own trace).
+    pub demand: DemandConfig,
+    /// Simulated duration.
+    pub horizon: SimTime,
+    /// Control-loop tick.
+    pub step: SimTime,
+    /// SLO percentile the static deployment provisions for (and the
+    /// pool is judged against).
+    pub slo_percentile: f64,
+    /// Pool compaction threshold (see [`PoolManager::new`]).
+    pub defrag_threshold: f64,
+    /// When set, the pool expander dies at this time: mass revocation,
+    /// every host evacuates its pooled pages.
+    pub fault_at: Option<SimTime>,
+    /// Root seed for the per-host demand traces.
+    pub seed: u64,
+}
+
+impl Default for PoolSimConfig {
+    fn default() -> Self {
+        Self {
+            hosts: 8,
+            local_dram_gib: 256,
+            pool_gib: 768,
+            slab_gib: 1,
+            switch_hop_ns: 70.0,
+            page_bytes: 64 * 1024 * 1024,
+            demand: DemandConfig::default(),
+            horizon: SimTime::from_secs(120),
+            step: SimTime::from_ms(100),
+            slo_percentile: 0.99,
+            defrag_threshold: 0.5,
+            fault_at: None,
+            seed: 42,
+        }
+    }
+}
+
+impl PoolSimConfig {
+    /// A fast variant for unit tests.
+    pub fn smoke() -> Self {
+        Self {
+            hosts: 4,
+            pool_gib: 256,
+            horizon: SimTime::from_secs(30),
+            ..Self::default()
+        }
+    }
+}
+
+/// One simulated host: its private topology/tier stack and demand.
+struct HostState {
+    topo: Topology,
+    tier: TierManager,
+    demand: DemandProcess,
+    /// Live pages in allocation order (freed LIFO, so burst pages —
+    /// which landed on the pool or SSD — are released first).
+    pages: Vec<PageId>,
+    /// Host-side mirror of the lease, in slabs. Dips below the
+    /// manager's view while a revocation drain is in flight.
+    granted_slabs: u64,
+    /// Static per-host DRAM provision (demand percentile), GiB.
+    static_cap_gib: f64,
+    /// Host-steps with at least one page on SSD (dynamic SLO misses).
+    violation_steps: u64,
+    /// Host-steps where demand exceeded the static provision.
+    static_violation_steps: u64,
+}
+
+/// Simulation state threaded through the event engine.
+struct PoolState {
+    cfg: PoolSimConfig,
+    manager: PoolManager,
+    hosts: Vec<HostState>,
+    host_steps: u64,
+    evac_pages_moved: u64,
+    evac_pages_to_ssd: u64,
+    stranded_pages: u64,
+    fault_fired: bool,
+}
+
+/// Outcome of one pooling simulation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PoolSimReport {
+    /// Hosts simulated.
+    pub hosts: usize,
+    /// Local DRAM per host, GiB.
+    pub local_dram_gib: u64,
+    /// Pool capacity, GiB.
+    pub pool_gib: u64,
+    /// Memory the dynamic deployment installs: `hosts · local + pool`.
+    pub dynamic_total_gib: f64,
+    /// Memory the static deployment installs: Σ per-host percentile.
+    pub static_total_gib: f64,
+    /// `1 − dynamic/static` installed capacity.
+    pub capacity_saving: f64,
+    /// Fraction of host-steps the dynamic deployment had pages on SSD.
+    pub dynamic_violation_frac: f64,
+    /// Fraction of host-steps demand exceeded the static provision.
+    pub static_violation_frac: f64,
+    /// Host-steps observed.
+    pub host_steps: u64,
+    /// Pool manager counters.
+    pub stats: PoolStats,
+    /// Mean queue wait per deferred grant, ms.
+    pub mean_wait_ms: f64,
+    /// Longest queue wait, ms.
+    pub max_wait_ms: f64,
+    /// Peak pool occupancy, GiB.
+    pub peak_pool_used_gib: f64,
+    /// Pages relocated during the fault evacuation.
+    pub evac_pages_moved: u64,
+    /// Pages spilled to SSD during the fault evacuation.
+    pub evac_pages_to_ssd: u64,
+    /// Pages left on the dead pool node after evacuation (must be 0).
+    pub stranded_pages: u64,
+    /// Whether the configured fault fired.
+    pub fault_fired: bool,
+    /// Nearest-rank SLO percentile of *aggregate* excess demand
+    /// (Σ max(0, ws − local) across hosts, per tick), GiB: the pool a
+    /// perfectly liquid deployment would install for the same traces.
+    /// `hosts · local + ideal_pool_gib` therefore lower-bounds the
+    /// capacity any real pooling control plane needs at this SLO.
+    pub ideal_pool_gib: f64,
+    /// Mean of the per-host demand-trace means, GiB (for a
+    /// like-for-like `cxl_cost::pooling` comparison).
+    pub demand_mean_gib: f64,
+    /// Mean of the per-host demand-trace standard deviations, GiB.
+    pub demand_std_gib: f64,
+    /// Idle read latency to the pooled node (includes the switch hop), ns.
+    pub pool_idle_read_ns: f64,
+    /// Idle read latency a direct-attached expander would give, ns.
+    pub direct_idle_read_ns: f64,
+}
+
+impl PoolState {
+    fn new(cfg: &PoolSimConfig) -> Self {
+        assert!(cfg.hosts > 0, "pool sim needs at least one host");
+        assert!(cfg.slab_gib > 0 && cfg.pool_gib >= cfg.slab_gib);
+        assert!(
+            cfg.page_bytes > 0 && (cfg.slab_gib * GIB).is_multiple_of(cfg.page_bytes),
+            "slab size must be a whole number of pages"
+        );
+        let manager =
+            PoolManager::new(cfg.pool_gib / cfg.slab_gib, cfg.hosts, cfg.defrag_threshold);
+        let hosts = (0..cfg.hosts)
+            .map(|h| {
+                let topo =
+                    Topology::pooled_host(cfg.local_dram_gib, cfg.pool_gib, cfg.switch_hop_ns);
+                let mut tier_cfg = TierConfig::bind(vec![DRAM_NODE, POOL_NODE]);
+                tier_cfg.page_size = cfg.page_bytes;
+                tier_cfg.allow_ssd_spill = true;
+                // The lease starts empty; grow_node raises this as
+                // grants arrive.
+                tier_cfg.capacity_override = vec![(POOL_NODE, 0)];
+                let tier = TierManager::new(&topo, tier_cfg);
+                let demand = DemandProcess::generate(
+                    &cfg.demand,
+                    cfg.seed,
+                    &format!("pool-host{h}"),
+                    cfg.horizon,
+                );
+                let static_cap_gib = demand.percentile(cfg.horizon, cfg.step, cfg.slo_percentile);
+                HostState {
+                    topo,
+                    tier,
+                    demand,
+                    pages: Vec::new(),
+                    granted_slabs: 0,
+                    static_cap_gib,
+                    violation_steps: 0,
+                    static_violation_steps: 0,
+                }
+            })
+            .collect();
+        Self {
+            cfg: cfg.clone(),
+            manager,
+            hosts,
+            host_steps: 0,
+            evac_pages_moved: 0,
+            evac_pages_to_ssd: 0,
+            stranded_pages: 0,
+            fault_fired: false,
+        }
+    }
+
+    fn slab_bytes(&self) -> u64 {
+        self.cfg.slab_gib * GIB
+    }
+
+    /// One control-loop pass for host `h`. Returns deferred lease
+    /// releases — `(victim, slabs, ready_at)` — for drains whose
+    /// reclaimed capacity becomes grantable only once the rate-limited
+    /// migration finishes.
+    fn host_tick(&mut self, h: usize, now: SimTime) -> Vec<(HostId, u64, SimTime)> {
+        let mut deferred = Vec::new();
+        let hid = HostId(h);
+        let slab_bytes = self.slab_bytes();
+        let ws_gib = self.hosts[h].demand.working_set_gib(now);
+        let target_pages = ((ws_gib * GIB as f64) / self.cfg.page_bytes as f64).ceil() as u64;
+        let target_bytes = target_pages * self.cfg.page_bytes;
+        let excess_bytes = target_bytes.saturating_sub(self.cfg.local_dram_gib * GIB);
+        let desired_slabs = excess_bytes.div_ceil(slab_bytes);
+
+        // 1. Grow the lease before allocating, so burst pages land on
+        //    the pool window instead of spilling.
+        if desired_slabs > self.hosts[h].granted_slabs && !self.manager.is_offline() {
+            let want = desired_slabs - self.hosts[h].granted_slabs;
+            let resp = self.manager.request(hid, want, now);
+            let got = resp.outcome.granted_now();
+            if got > 0 {
+                self.hosts[h].granted_slabs += got;
+                let cap = self.hosts[h].granted_slabs * slab_bytes;
+                self.hosts[h]
+                    .tier
+                    .grow_node(POOL_NODE, cap)
+                    .expect("pool node exists");
+            }
+            for notice in resp.revocations {
+                if let Some(d) = self.process_revocation(notice, now) {
+                    deferred.push(d);
+                }
+            }
+        }
+
+        // 2. Track the working set: allocate growth, free shrink LIFO.
+        let live = self.hosts[h].pages.len() as u64;
+        if live < target_pages {
+            let fresh = self.hosts[h]
+                .tier
+                .alloc_n(target_pages - live, now)
+                .expect("SSD spill is enabled");
+            self.hosts[h].pages.extend(fresh);
+        } else {
+            for _ in 0..(live - target_pages) {
+                let page = self.hosts[h].pages.pop().expect("live count checked");
+                self.hosts[h].tier.free(page);
+            }
+        }
+
+        // 3. Pull spilled pages back in if capacity opened up.
+        self.reload_ssd(h, now);
+
+        // 4. Hand back lease the demand no longer needs.
+        let granted = self.hosts[h].granted_slabs;
+        if desired_slabs < granted {
+            let pool_used_bytes = self.hosts[h].tier.node_usage(POOL_NODE).0 * self.cfg.page_bytes;
+            let keep = desired_slabs.max(pool_used_bytes.div_ceil(slab_bytes));
+            if keep < granted {
+                self.hosts[h]
+                    .tier
+                    .shrink_node(POOL_NODE, keep * slab_bytes, now)
+                    .expect("kept capacity covers resident pages");
+                self.hosts[h].granted_slabs = keep;
+                if !self.manager.is_offline() {
+                    let grants = self.manager.release(hid, granted - keep, now);
+                    self.apply_grants(&grants, now);
+                }
+            }
+        }
+        deferred
+    }
+
+    /// Drains a revocation victim through the tier migration path.
+    fn process_revocation(
+        &mut self,
+        notice: RevocationNotice,
+        now: SimTime,
+    ) -> Option<(HostId, u64, SimTime)> {
+        let h = notice.host.0;
+        let take = notice.slabs.min(self.hosts[h].granted_slabs);
+        if take == 0 {
+            return None;
+        }
+        let keep = self.hosts[h].granted_slabs - take;
+        let keep_bytes = keep * self.slab_bytes();
+        let report = self.hosts[h]
+            .tier
+            .shrink_node(POOL_NODE, keep_bytes, now)
+            .expect("SSD spill is enabled");
+        self.hosts[h].granted_slabs = keep;
+        Some((notice.host, take, now.max(report.completed_at)))
+    }
+
+    /// Applies deferred grants delivered by the manager.
+    fn apply_grants(&mut self, grants: &[Grant], now: SimTime) {
+        for g in grants {
+            let h = g.host.0;
+            self.hosts[h].granted_slabs += g.slabs;
+            let cap = self.hosts[h].granted_slabs * self.slab_bytes();
+            self.hosts[h]
+                .tier
+                .grow_node(POOL_NODE, cap)
+                .expect("pool node exists");
+            self.reload_ssd(h, now);
+        }
+    }
+
+    /// SSD-resident pages of host `h` (all live pages not on a node).
+    fn ssd_pages(&self, h: usize) -> u64 {
+        let (dram_used, _) = self.hosts[h].tier.node_usage(DRAM_NODE);
+        let (pool_used, _) = self.hosts[h].tier.node_usage(POOL_NODE);
+        self.hosts[h].pages.len() as u64 - dram_used - pool_used
+    }
+
+    /// Loads spilled pages back while any policy node has room.
+    fn reload_ssd(&mut self, h: usize, now: SimTime) {
+        let spilled = self.ssd_pages(h);
+        if spilled == 0 {
+            return;
+        }
+        let (dram_used, dram_cap) = self.hosts[h].tier.node_usage(DRAM_NODE);
+        let (pool_used, pool_cap) = self.hosts[h].tier.node_usage(POOL_NODE);
+        let room = (dram_cap - dram_used) + (pool_cap - pool_used);
+        let mut to_load = spilled.min(room);
+        if to_load == 0 {
+            return;
+        }
+        // Newest pages spilled last; walk from the top of the stack.
+        let ids: Vec<PageId> = self.hosts[h].pages.iter().rev().copied().collect();
+        for page in ids {
+            if to_load == 0 {
+                break;
+            }
+            if self.hosts[h].tier.location(page).is_ssd() {
+                self.hosts[h]
+                    .tier
+                    .load_from_ssd(page, now)
+                    .expect("room was checked");
+                to_load -= 1;
+            }
+        }
+    }
+
+    /// Post-adjustment accounting for one tick.
+    fn account(&mut self, now: SimTime) {
+        for h in 0..self.hosts.len() {
+            self.host_steps += 1;
+            if self.ssd_pages(h) > 0 {
+                self.hosts[h].violation_steps += 1;
+                obs::counter_add("pool/slo_violation_host_steps", 1);
+            }
+            let ws = self.hosts[h].demand.working_set_gib(now);
+            if ws > self.hosts[h].static_cap_gib + 1e-9 {
+                self.hosts[h].static_violation_steps += 1;
+            }
+        }
+        obs::counter_max("pool/queued_slabs_peak", self.manager.queued_slabs());
+    }
+
+    /// The pool expander dies: mass revocation + per-host evacuation.
+    fn fire_fault(&mut self, now: SimTime) {
+        let _notices = self.manager.revoke_all(now);
+        for h in 0..self.hosts.len() {
+            let resident_before = self.hosts[h].tier.node_usage(POOL_NODE).0;
+            FaultKind::ExpanderOffline { node: POOL_NODE }
+                .apply(&mut self.hosts[h].topo)
+                .expect("pool node is an expander");
+            let report = self.hosts[h]
+                .tier
+                .evacuate(POOL_NODE, now)
+                .expect("SSD spill is enabled");
+            debug_assert_eq!(report.total_pages(), resident_before);
+            self.evac_pages_moved += report.pages_moved;
+            self.evac_pages_to_ssd += report.pages_to_ssd;
+            // Anything still on the dead node is stranded data loss.
+            self.stranded_pages += self.hosts[h].tier.node_usage(POOL_NODE).0;
+            self.hosts[h].granted_slabs = 0;
+        }
+        self.fault_fired = true;
+        obs::counter_add("pool/expander_faults", 1);
+    }
+
+    fn into_report(self) -> PoolSimReport {
+        let cfg = &self.cfg;
+        let dynamic_total_gib = (cfg.hosts as u64 * cfg.local_dram_gib + cfg.pool_gib) as f64;
+        let static_total_gib: f64 = self.hosts.iter().map(|h| h.static_cap_gib).sum();
+        let violation_steps: u64 = self.hosts.iter().map(|h| h.violation_steps).sum();
+        let static_violation_steps: u64 = self.hosts.iter().map(|h| h.static_violation_steps).sum();
+        let steps = self.host_steps.max(1) as f64;
+        let moments: Vec<(f64, f64)> = self
+            .hosts
+            .iter()
+            .map(|h| h.demand.moments(cfg.horizon, cfg.step))
+            .collect();
+        let n = moments.len() as f64;
+        // Perfect-liquidity pool: the SLO percentile of per-tick
+        // aggregate excess over the very traces the run replayed.
+        let traces: Vec<Vec<f64>> = self
+            .hosts
+            .iter()
+            .map(|h| h.demand.sampled(cfg.horizon, cfg.step))
+            .collect();
+        let local = cfg.local_dram_gib as f64;
+        let mut aggregate: Vec<f64> = (0..traces[0].len())
+            .map(|i| traces.iter().map(|t| (t[i] - local).max(0.0)).sum())
+            .collect();
+        aggregate.sort_by(|a, b| a.partial_cmp(b).expect("finite demand"));
+        let rank = ((cfg.slo_percentile * aggregate.len() as f64).ceil() as usize)
+            .clamp(1, aggregate.len());
+        let ideal_pool_gib = aggregate[rank - 1];
+        let stats = self.manager.stats().clone();
+        // Idle latencies from the pristine host topology: what the
+        // switch hop costs every pooled access.
+        let pooled = Topology::pooled_host(cfg.local_dram_gib, cfg.pool_gib, cfg.switch_hop_ns);
+        let direct = Topology::pooled_host(cfg.local_dram_gib, cfg.pool_gib, 0.0);
+        let mix = AccessMix::read_only();
+        let pool_idle_read_ns =
+            MemSystem::new(&pooled).idle_latency_ns(SocketId(0), POOL_NODE, mix);
+        let direct_idle_read_ns =
+            MemSystem::new(&direct).idle_latency_ns(SocketId(0), POOL_NODE, mix);
+        PoolSimReport {
+            hosts: cfg.hosts,
+            local_dram_gib: cfg.local_dram_gib,
+            pool_gib: cfg.pool_gib,
+            dynamic_total_gib,
+            static_total_gib,
+            capacity_saving: 1.0 - dynamic_total_gib / static_total_gib,
+            dynamic_violation_frac: violation_steps as f64 / steps,
+            static_violation_frac: static_violation_steps as f64 / steps,
+            host_steps: self.host_steps,
+            mean_wait_ms: stats.mean_wait_ns() / 1e6,
+            max_wait_ms: stats.max_wait_ns as f64 / 1e6,
+            peak_pool_used_gib: (stats.peak_used_slabs * cfg.slab_gib) as f64,
+            stats,
+            evac_pages_moved: self.evac_pages_moved,
+            evac_pages_to_ssd: self.evac_pages_to_ssd,
+            stranded_pages: self.stranded_pages,
+            fault_fired: self.fault_fired,
+            ideal_pool_gib,
+            demand_mean_gib: moments.iter().map(|(m, _)| m).sum::<f64>() / n,
+            demand_std_gib: moments.iter().map(|(_, s)| s).sum::<f64>() / n,
+            pool_idle_read_ns,
+            direct_idle_read_ns,
+        }
+    }
+}
+
+/// Runs one pooling simulation to completion.
+pub fn run(cfg: &PoolSimConfig) -> PoolSimReport {
+    let step = cfg.step;
+    let horizon = cfg.horizon;
+    let mut eng = Engine::new(PoolState::new(cfg));
+    if let Some(at) = cfg.fault_at {
+        eng.schedule_at(at, move |e| {
+            let now = e.now();
+            e.state_mut().fire_fault(now);
+        });
+    }
+    eng.schedule_at(SimTime::ZERO, move |e| {
+        step_once(e, step, horizon);
+    });
+    eng.run_until(horizon);
+    eng.into_state().into_report()
+}
+
+/// One tick: advance every host, schedule deferred lease returns, and
+/// re-arm the next tick while inside the horizon.
+fn step_once(eng: &mut Engine<PoolState>, step: SimTime, horizon: SimTime) {
+    let now = eng.now();
+    let deferred = {
+        let st = eng.state_mut();
+        let mut d = Vec::new();
+        for h in 0..st.hosts.len() {
+            d.extend(st.host_tick(h, now));
+        }
+        st.account(now);
+        d
+    };
+    for (host, slabs, ready_at) in deferred {
+        eng.schedule_at(ready_at.max(now), move |e| {
+            let t = e.now();
+            let st = e.state_mut();
+            if st.manager.is_offline() {
+                return;
+            }
+            let grants = st.manager.release(host, slabs, t);
+            st.apply_grants(&grants, t);
+        });
+    }
+    let next = now + step;
+    if next < horizon {
+        eng.schedule_at(next, move |e| step_once(e, step, horizon));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_deterministic() {
+        let cfg = PoolSimConfig::smoke();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a, b, "identical configs must give identical reports");
+        assert_eq!(a.host_steps, 4 * 300);
+    }
+
+    #[test]
+    fn bursty_demand_exercises_the_pool() {
+        let r = run(&PoolSimConfig::smoke());
+        assert!(r.stats.grants + r.stats.partial_grants > 0, "{r:?}");
+        assert!(r.peak_pool_used_gib > 0.0);
+        assert!((0.0..=1.0).contains(&r.dynamic_violation_frac));
+        assert!(r.demand_std_gib > 0.0);
+        // The switch hop is visible end-to-end in the perf model.
+        assert!(
+            (r.pool_idle_read_ns - r.direct_idle_read_ns - 70.0).abs() < 1e-9,
+            "pool {} vs direct {}",
+            r.pool_idle_read_ns,
+            r.direct_idle_read_ns
+        );
+    }
+
+    #[test]
+    fn dynamic_pooling_beats_static_provisioning() {
+        let r = run(&PoolSimConfig::default());
+        assert!(
+            r.dynamic_total_gib < r.static_total_gib,
+            "pooling must install less memory: {} vs {}",
+            r.dynamic_total_gib,
+            r.static_total_gib
+        );
+        assert!(r.capacity_saving > 0.0);
+        assert!(
+            r.dynamic_violation_frac <= r.static_violation_frac + 0.01,
+            "pooling must hold the SLO: dyn {} vs static {}",
+            r.dynamic_violation_frac,
+            r.static_violation_frac
+        );
+    }
+
+    #[test]
+    fn expander_fault_revokes_everything_without_stranding_pages() {
+        let cfg = PoolSimConfig {
+            fault_at: Some(SimTime::from_secs(15)),
+            ..PoolSimConfig::smoke()
+        };
+        let r = run(&cfg);
+        assert!(r.fault_fired);
+        assert_eq!(r.stranded_pages, 0, "no page may stay on the dead node");
+        assert!(r.stats.mass_revocations == 1);
+        assert!(
+            r.evac_pages_moved + r.evac_pages_to_ssd > 0,
+            "the fault should have caught resident pooled pages"
+        );
+    }
+
+    #[test]
+    fn lease_waits_are_recorded_when_the_pool_is_tight() {
+        // A deliberately undersized pool forces queuing + revocation.
+        let cfg = PoolSimConfig {
+            pool_gib: 64,
+            ..PoolSimConfig::smoke()
+        };
+        let r = run(&cfg);
+        assert!(r.stats.queued_requests > 0, "{r:?}");
+        assert!(r.stats.revocations > 0);
+        assert!(r.stats.deferred_grants > 0);
+        assert!(r.max_wait_ms >= r.mean_wait_ms);
+    }
+}

@@ -1,0 +1,51 @@
+//! Typed errors for the Spark simulation.
+//!
+//! The runner used to `expect`/`assert!` on topology shape (every socket
+//! has DRAM, CXL present when the placement stripes onto it). With
+//! user-built and fault-degraded topologies those are ordinary runtime
+//! conditions, so they surface as [`SparkError`] values — the same
+//! convention as `TierError`/`PerfError`. The panicking entry points
+//! remain as thin wrappers for the paper-testbed configurations.
+
+use cxl_topology::SocketId;
+
+/// A recoverable Spark-simulation setup failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparkError {
+    /// A socket exposes no DRAM node, so executor heaps cannot anchor
+    /// their DRAM stripe there.
+    MissingDramNode(SocketId),
+    /// The placement stripes memory onto CXL but the topology has no
+    /// expander nodes.
+    NoCxlInTopology,
+}
+
+impl std::fmt::Display for SparkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparkError::MissingDramNode(s) => {
+                write!(f, "socket {} has no DRAM node", s.0)
+            }
+            SparkError::NoCxlInTopology => {
+                write!(f, "placement requires CXL but the topology has none")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_panic_phrases() {
+        assert!(SparkError::MissingDramNode(SocketId(1))
+            .to_string()
+            .contains("no DRAM node"));
+        assert!(SparkError::NoCxlInTopology
+            .to_string()
+            .contains("placement requires CXL"));
+    }
+}

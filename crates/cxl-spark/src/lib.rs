@@ -20,9 +20,11 @@
 //! paper's 1.4–9.8× band).
 
 pub mod cluster;
+pub mod error;
 pub mod query;
 pub mod runner;
 
 pub use cluster::{ClusterConfig, Placement};
+pub use error::SparkError;
 pub use query::{tpch_queries, QueryProfile, StageProfile};
-pub use runner::{run_query, QueryResult};
+pub use runner::{run_query, try_run_query, QueryResult};

@@ -6,6 +6,7 @@ use cxl_perf::{AccessMix, FlowSpec, MemSystem};
 use cxl_topology::{MemoryTier, NodeId, SncMode, SocketId, Topology};
 
 use crate::cluster::{ClusterConfig, Placement};
+use crate::error::SparkError;
 use crate::query::{tpch_queries, QueryProfile, StageProfile};
 
 /// Bytes per dependent hash-table access.
@@ -55,7 +56,11 @@ struct Group {
     stripes: Vec<(NodeId, f64)>,
 }
 
-fn build_groups(topo: &Topology, placement: Placement, execs_per_server: usize) -> Vec<Group> {
+fn build_groups(
+    topo: &Topology,
+    placement: Placement,
+    execs_per_server: usize,
+) -> Result<Vec<Group>, SparkError> {
     let nodes = topo.nodes();
     let dram: Vec<NodeId> = nodes
         .iter()
@@ -75,23 +80,22 @@ fn build_groups(topo: &Topology, placement: Placement, execs_per_server: usize) 
             let own_dram = *dram
                 .iter()
                 .find(|&&d| nodes[d.0].socket == s.id)
-                .expect("each socket has a DRAM node");
+                .ok_or(SparkError::MissingDramNode(s.id))?;
             let mut stripes = vec![(own_dram, f_dram)];
             if f_dram < 1.0 {
-                assert!(
-                    !cxl.is_empty(),
-                    "placement requires CXL but the topology has none"
-                );
+                if cxl.is_empty() {
+                    return Err(SparkError::NoCxlInTopology);
+                }
                 let share = (1.0 - f_dram) / cxl.len() as f64;
                 for &c in &cxl {
                     stripes.push((c, share));
                 }
             }
-            Group {
+            Ok(Group {
                 socket: s.id,
                 cores: cores_per_group,
                 stripes,
-            }
+            })
         })
         .collect()
 }
@@ -117,19 +121,23 @@ fn blended_mix(load: &StageLoad) -> AccessMix {
 }
 
 /// Builds the migration-churn flows of the Hot-Promote configuration.
-fn churn_flows(sys: &MemSystem, rate_gbps: f64, flows: &mut Vec<FlowSpec>) {
+fn churn_flows(
+    sys: &MemSystem,
+    rate_gbps: f64,
+    flows: &mut Vec<FlowSpec>,
+) -> Result<(), SparkError> {
     let nodes = sys.nodes().to_vec();
     let cxl: Vec<NodeId> = nodes
         .iter()
         .filter(|n| n.tier == MemoryTier::CxlExpander)
         .map(|n| n.id)
         .collect();
+    let s0 = sys.sockets()[0];
     let dram0 = nodes
         .iter()
         .find(|n| n.tier == MemoryTier::LocalDram)
         .map(|n| n.id)
-        .expect("DRAM node");
-    let s0 = sys.sockets()[0];
+        .ok_or(SparkError::MissingDramNode(s0))?;
     for &c in &cxl {
         // Promotions read CXL, demotions write it back: 1:1 on the device.
         flows.push(FlowSpec::new(
@@ -141,6 +149,7 @@ fn churn_flows(sys: &MemSystem, rate_gbps: f64, flows: &mut Vec<FlowSpec>) {
     }
     // The DRAM side of the copies.
     flows.push(FlowSpec::new(s0, dram0, AccessMix::ratio(1, 1), rate_gbps));
+    Ok(())
 }
 
 /// Computes one stage's wall time on one server, returning
@@ -155,7 +164,7 @@ fn stage_time(
     groups: &[Group],
     cfg: &ClusterConfig,
     load: &StageLoad,
-) -> (f64, f64, f64, f64) {
+) -> Result<(f64, f64, f64, f64), SparkError> {
     let n_groups = groups.len() as f64;
     let mix = blended_mix(load);
     let stream_gb_grp = (load.scan_gb + load.sw_gb + load.sr_gb - load.hash_gb) / n_groups;
@@ -179,7 +188,7 @@ fn stage_time(
         }
     }
     if let Placement::HotPromote { promote_rate_gbps } = cfg.placement {
-        churn_flows(sys, promote_rate_gbps, &mut flows);
+        churn_flows(sys, promote_rate_gbps, &mut flows)?;
         while owners.len() < flows.len() {
             owners.push((usize::MAX, 0.0));
         }
@@ -209,7 +218,7 @@ fn stage_time(
         }
     }
     if let Placement::HotPromote { promote_rate_gbps } = cfg.placement {
-        churn_flows(sys, promote_rate_gbps, &mut flows2);
+        churn_flows(sys, promote_rate_gbps, &mut flows2)?;
         while owners2.len() < flows2.len() {
             owners2.push((usize::MAX, 0.0));
         }
@@ -281,7 +290,7 @@ fn stage_time(
     let scan_s = compute_s * scan_share;
     let sw_s = compute_s * sw_share + spill_io_s / 2.0;
     let sr_s = compute_s * sr_share + spill_io_s / 2.0;
-    (stage_s, scan_s, sw_s, sr_s)
+    Ok((stage_s, scan_s, sw_s, sr_s))
 }
 
 fn hot_promote_overhead_factor() -> f64 {
@@ -291,7 +300,20 @@ fn hot_promote_overhead_factor() -> f64 {
 }
 
 /// Runs one query on a cluster configuration.
+///
+/// # Panics
+///
+/// Panics when the paper-testbed topology cannot host the placement;
+/// that cannot happen for the built-in configurations. Use
+/// [`try_run_query`] when simulating user-built or fault-degraded
+/// topologies.
 pub fn run_query(cfg: &ClusterConfig, query: &QueryProfile) -> QueryResult {
+    try_run_query(cfg, query).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`run_query`]: topology-shape problems come back as
+/// a [`SparkError`] instead of a panic.
+pub fn try_run_query(cfg: &ClusterConfig, query: &QueryProfile) -> Result<QueryResult, SparkError> {
     let needs_cxl = matches!(
         cfg.placement,
         Placement::Interleave { .. } | Placement::HotPromote { .. }
@@ -302,7 +324,7 @@ pub fn run_query(cfg: &ClusterConfig, query: &QueryProfile) -> QueryResult {
         Topology::baseline_server(SncMode::Disabled)
     };
     let sys = MemSystem::with_tuning(&topo, cfg.tuning);
-    let groups = build_groups(&topo, cfg.placement, cfg.executors_per_server());
+    let groups = build_groups(&topo, cfg.placement, cfg.executors_per_server())?;
 
     // Spill volume for this query, scaled from the 0.8 anchor.
     let total_spill_gb = match cfg.placement {
@@ -327,7 +349,7 @@ pub fn run_query(cfg: &ClusterConfig, query: &QueryProfile) -> QueryResult {
     let mut stage_times_s = Vec::with_capacity(query.stages.len());
     for s in &query.stages {
         let load = per_server_load(s, cfg, total_spill_gb, total_sw);
-        let (t, sc, sw, sr) = stage_time(&sys, &groups, cfg, &load);
+        let (t, sc, sw, sr) = stage_time(&sys, &groups, cfg, &load)?;
         exec += t;
         scan_t += sc;
         sw_t += sw;
@@ -344,7 +366,7 @@ pub fn run_query(cfg: &ClusterConfig, query: &QueryProfile) -> QueryResult {
             *t *= f;
         }
     }
-    QueryResult {
+    Ok(QueryResult {
         name: query.name,
         config: cfg.placement.label(),
         exec_time_s: exec,
@@ -352,7 +374,7 @@ pub fn run_query(cfg: &ClusterConfig, query: &QueryProfile) -> QueryResult {
         shuffle_write_s: sw_t,
         shuffle_read_s: sr_t,
         stage_times_s,
-    }
+    })
 }
 
 fn per_server_load(
@@ -374,8 +396,21 @@ fn per_server_load(
 }
 
 /// Runs every paper query on a configuration.
+///
+/// # Panics
+///
+/// Panics under the same (impossible-for-built-in-configs) conditions
+/// as [`run_query`]; use [`try_run_all`] otherwise.
 pub fn run_all(cfg: &ClusterConfig) -> Vec<QueryResult> {
-    tpch_queries().iter().map(|q| run_query(cfg, q)).collect()
+    try_run_all(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`run_all`].
+pub fn try_run_all(cfg: &ClusterConfig) -> Result<Vec<QueryResult>, SparkError> {
+    tpch_queries()
+        .iter()
+        .map(|q| try_run_query(cfg, q))
+        .collect()
 }
 
 #[cfg(test)]

@@ -809,6 +809,23 @@ impl TierManager {
         self.drain_node(node, new_pages, now)
     }
 
+    /// Raises `node`'s capacity to `new_capacity_bytes` — the inverse of
+    /// [`TierManager::shrink_node`], used when a pool lease grows a
+    /// host's window onto shared capacity. Growth never moves pages, so
+    /// there is no report; a `new_capacity_bytes` at or below the
+    /// current capacity is a no-op (shrinking must go through the
+    /// draining path).
+    pub fn grow_node(&mut self, node: NodeId, new_capacity_bytes: u64) -> Result<(), TierError> {
+        if node.0 >= self.nodes.len() {
+            return Err(TierError::UnknownNode(node));
+        }
+        let new_pages = new_capacity_bytes / self.cfg.page_size;
+        if new_pages > self.nodes[node.0].capacity_pages {
+            self.nodes[node.0].capacity_pages = new_pages;
+        }
+        Ok(())
+    }
+
     /// Moves all but the first `keep_pages` resident pages (in id
     /// order) off `node`; shared tail of evacuate/shrink.
     fn drain_node(
@@ -1684,6 +1701,26 @@ mod tests {
     fn evacuate_unknown_node_is_an_error() {
         let mut tm = TierManager::new(&topo(), TierConfig::bind(vec![DRAM0]));
         let err = tm.evacuate(NodeId(9), SimTime::ZERO).expect_err("bad node");
+        assert!(matches!(err, TierError::UnknownNode(NodeId(9))), "{err:?}");
+    }
+
+    #[test]
+    fn grow_node_raises_capacity_without_moving_pages() {
+        let mut cfg = TierConfig::bind(vec![CXL0]);
+        cfg.capacity_override = small_caps(8, 4);
+        let mut tm = TierManager::new(&topo(), cfg);
+        tm.alloc_n(4, SimTime::ZERO).unwrap();
+        tm.grow_node(CXL0, 16 * 4096).unwrap();
+        assert_eq!(tm.node_usage(CXL0), (4, 16));
+        // Growth is monotone: a smaller target never shrinks.
+        tm.grow_node(CXL0, 2 * 4096).unwrap();
+        assert_eq!(tm.node_usage(CXL0), (4, 16));
+        // Lease-shrink then re-grow round-trips through both paths.
+        let report = tm.shrink_node(CXL0, 2 * 4096, SimTime::from_ms(1)).unwrap();
+        assert_eq!(report.pages_moved, 2);
+        tm.grow_node(CXL0, 8 * 4096).unwrap();
+        assert_eq!(tm.node_usage(CXL0), (2, 8));
+        let err = tm.grow_node(NodeId(9), 4096).expect_err("bad node");
         assert!(matches!(err, TierError::UnknownNode(NodeId(9))), "{err:?}");
     }
 }

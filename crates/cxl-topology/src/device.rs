@@ -96,6 +96,12 @@ pub struct CxlDevice {
     /// The paper measures 73.6 % for the A1000 ASIC versus ~60 % for
     /// FPGA-based controllers (§3.4).
     pub link_efficiency: f64,
+    /// Extra round-trip latency of a CXL 2.0 switch between the host
+    /// port and the device, in ns. 0.0 for direct-attached expanders
+    /// (the paper's testbed); switch-attached pool devices pay one
+    /// port-to-port hop each way (§7.1 projects pooling through a
+    /// switch).
+    pub switch_hop_ns: f64,
     /// Mutable degradation state; [`DeviceHealth::healthy`] for a
     /// factory-fresh part. The nominal fields above never change — the
     /// `effective_*` accessors fold the health in.
@@ -103,36 +109,74 @@ pub struct CxlDevice {
 }
 
 impl CxlDevice {
+    /// A healthy, direct-attached device from its nominal hardware
+    /// parameters. All call sites should prefer this over field-by-field
+    /// struct literals so new overlay fields (health, switch hop) pick up
+    /// their defaults in one place.
+    pub fn new(
+        name: impl Into<String>,
+        link: PcieLink,
+        ddr_channels: usize,
+        ddr_gen: DdrGeneration,
+        capacity_gib: u64,
+        controller_latency_ns: f64,
+        link_efficiency: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            link,
+            ddr_channels,
+            ddr_gen,
+            capacity_gib,
+            controller_latency_ns,
+            link_efficiency,
+            switch_hop_ns: 0.0,
+            health: DeviceHealth::healthy(),
+        }
+    }
+
+    /// Places the device behind a CXL switch, adding `ns` of round-trip
+    /// port-to-port latency to every access.
+    ///
+    /// # Panics
+    /// Panics if `ns` is negative or non-finite.
+    pub fn behind_switch(mut self, ns: f64) -> Self {
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "switch hop latency must be finite and non-negative, got {ns}"
+        );
+        self.switch_hop_ns = ns;
+        self
+    }
+
     /// The AsteraLabs Leo A1000 as configured in the paper: Gen5 x16,
     /// two DDR5-4800 channels populated, 256 GiB.
     pub fn a1000() -> Self {
-        Self {
-            name: "AsteraLabs A1000".to_string(),
-            link: PcieLink::gen5_x16(),
-            ddr_channels: 2,
-            ddr_gen: DdrGeneration::Ddr5_4800,
-            capacity_gib: 256,
-            // MMEM idles at ~97 ns and CXL at ~250.42 ns, so the
-            // controller + PCIe datapath adds ~153 ns.
-            controller_latency_ns: 153.4,
-            link_efficiency: 0.736,
-            health: DeviceHealth::healthy(),
-        }
+        // MMEM idles at ~97 ns and CXL at ~250.42 ns, so the
+        // controller + PCIe datapath adds ~153 ns.
+        Self::new(
+            "AsteraLabs A1000",
+            PcieLink::gen5_x16(),
+            2,
+            DdrGeneration::Ddr5_4800,
+            256,
+            153.4,
+            0.736,
+        )
     }
 
     /// An FPGA-based CXL controller, for the §3.4 ASIC-vs-FPGA comparison:
     /// same link, lower efficiency and higher latency.
     pub fn fpga_prototype() -> Self {
-        Self {
-            name: "FPGA prototype".to_string(),
-            link: PcieLink::gen5_x16(),
-            ddr_channels: 2,
-            ddr_gen: DdrGeneration::Ddr5_4800,
-            capacity_gib: 256,
-            controller_latency_ns: 350.0,
-            link_efficiency: 0.60,
-            health: DeviceHealth::healthy(),
-        }
+        Self::new(
+            "FPGA prototype",
+            PcieLink::gen5_x16(),
+            2,
+            DdrGeneration::Ddr5_4800,
+            256,
+            350.0,
+            0.60,
+        )
     }
 
     /// Lane count after any health-driven link downgrade (never above
@@ -236,6 +280,40 @@ mod tests {
         // Nominal fields are untouched.
         assert!((d.controller_latency_ns - 153.4).abs() < 1e-12);
         assert_eq!(d.capacity_gib, 256);
+    }
+
+    #[test]
+    fn constructor_defaults_are_healthy_and_direct_attached() {
+        let d = CxlDevice::new(
+            "test",
+            PcieLink::gen5_x16(),
+            2,
+            DdrGeneration::Ddr5_4800,
+            256,
+            153.4,
+            0.736,
+        );
+        assert!(d.health.online);
+        assert_eq!(d.switch_hop_ns, 0.0);
+        assert_eq!(d, {
+            let mut a = CxlDevice::a1000();
+            a.name = "test".to_string();
+            a
+        });
+    }
+
+    #[test]
+    fn behind_switch_sets_hop_latency_only() {
+        let d = CxlDevice::a1000().behind_switch(70.0);
+        assert!((d.switch_hop_ns - 70.0).abs() < 1e-12);
+        assert!((d.controller_latency_ns - 153.4).abs() < 1e-12);
+        assert!(d.health.online);
+    }
+
+    #[test]
+    #[should_panic(expected = "switch hop latency")]
+    fn behind_switch_rejects_negative_latency() {
+        let _ = CxlDevice::a1000().behind_switch(-1.0);
     }
 
     #[test]

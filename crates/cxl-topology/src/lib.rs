@@ -109,6 +109,29 @@ impl Topology {
         }
     }
 
+    /// Builds one pooled host for the `cxl-pool` control plane (§7.1's
+    /// CXL 2.0 pooling projection): a single socket with local DRAM
+    /// plus one switch-attached expander node representing the host's
+    /// window onto the shared memory pool.
+    ///
+    /// `pool_window_gib` sizes the node at the largest lease the pool
+    /// manager may ever grant this host; the live lease is enforced by
+    /// the tiering layer's capacity override, not by the topology.
+    /// `switch_hop_ns` is the round-trip port-to-port latency of the
+    /// switch between host and pool expander.
+    pub fn pooled_host(local_dram_gib: u64, pool_window_gib: u64, switch_hop_ns: f64) -> Self {
+        let mut dev = CxlDevice::a1000().behind_switch(switch_hop_ns);
+        dev.name = "pooled A1000 (switch-attached)".to_string();
+        dev.capacity_gib = pool_window_gib;
+        let socket0 = Socket::new(SocketId(0), 56, 8, DdrGeneration::Ddr5_4800, local_dram_gib)
+            .with_devices(vec![dev]);
+        Self {
+            sockets: vec![socket0],
+            snc: SncMode::Disabled,
+            upi: Vec::new(),
+        }
+    }
+
     /// Derives the NUMA node list the OS would enumerate.
     ///
     /// DRAM nodes come first (socket-major, domain-minor), then CXL
@@ -283,6 +306,24 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pooled_host_exposes_switch_attached_window() {
+        let t = Topology::pooled_host(256, 512, 70.0);
+        let nodes = t.nodes();
+        // One DRAM node (SNC disabled) + one pool window node.
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].tier, MemoryTier::LocalDram);
+        assert_eq!(nodes[0].capacity_gib, 256);
+        assert_eq!(nodes[1].tier, MemoryTier::CxlExpander);
+        assert_eq!(nodes[1].capacity_gib, 512);
+        let dev = t.cxl_device(nodes[1].id).expect("pool window device");
+        assert!((dev.switch_hop_ns - 70.0).abs() < 1e-12);
+        // Direct-attached testbed devices carry no switch hop.
+        let testbed = Topology::paper_testbed(SncMode::Disabled);
+        let direct = testbed.cxl_device(NodeId(2)).expect("A1000");
+        assert_eq!(direct.switch_hop_ns, 0.0);
+    }
 
     #[test]
     fn paper_testbed_matches_fig2() {

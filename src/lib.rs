@@ -14,6 +14,7 @@ pub use cxl_llm as llm;
 pub use cxl_mlc as mlc;
 pub use cxl_obs as obs;
 pub use cxl_perf as perf;
+pub use cxl_pool as pool;
 pub use cxl_sim as sim;
 pub use cxl_spark as spark;
 pub use cxl_stats as stats;

@@ -1,0 +1,64 @@
+//! End-to-end pool dynamics: the `cxl-pool` control plane driven
+//! through the umbrella crate, checking the acceptance gates the
+//! `pool_dynamics` bench relies on — dynamic pooling beats static
+//! per-host provisioning at equal SLO, the pool-fault scenario strands
+//! nothing, the perfect-liquidity trace bound holds, and the whole
+//! sweep is bit-identical across worker counts.
+
+use cxl_repro::core_api::experiments::pool::{run_with, PoolParams};
+use cxl_repro::core_api::runner::Runner;
+use cxl_repro::pool::{run, PoolSimConfig};
+use cxl_repro::sim::SimTime;
+
+#[test]
+fn dynamic_pooling_beats_static_at_equal_slo() {
+    let report = run(&PoolSimConfig::default());
+    assert!(
+        report.dynamic_total_gib < report.static_total_gib,
+        "pooling must install less: {} vs {}",
+        report.dynamic_total_gib,
+        report.static_total_gib
+    );
+    assert!(report.capacity_saving > 0.0);
+    assert!(
+        report.dynamic_violation_frac <= report.static_violation_frac + 0.01,
+        "pooling may not trade the SLO away: {} vs {}",
+        report.dynamic_violation_frac,
+        report.static_violation_frac
+    );
+    // The realized saving cannot beat a perfectly liquid pool sized at
+    // the traces' aggregate-excess percentile.
+    let fixed = (report.hosts as u64 * report.local_dram_gib) as f64;
+    let ideal_saving = 1.0 - (fixed + report.ideal_pool_gib) / report.static_total_gib;
+    assert!(ideal_saving >= report.capacity_saving - 1e-9);
+}
+
+#[test]
+fn pool_fault_revokes_everything_and_strands_nothing() {
+    let cfg = PoolSimConfig {
+        fault_at: Some(SimTime::from_secs(15)),
+        horizon: SimTime::from_secs(30),
+        ..PoolSimConfig::smoke()
+    };
+    let report = run(&cfg);
+    assert!(report.fault_fired);
+    assert_eq!(report.stats.mass_revocations, 1);
+    assert_eq!(
+        report.stranded_pages, 0,
+        "evacuation must drain the pool node"
+    );
+    assert!(
+        report.evac_pages_moved + report.evac_pages_to_ssd > 0,
+        "the fault must have had leased pages to evacuate"
+    );
+}
+
+#[test]
+fn sweep_is_bit_identical_across_worker_counts() {
+    let params = PoolParams::smoke();
+    let a = run_with(&Runner::new(1), params);
+    let b = run_with(&Runner::new(8), params);
+    let aj = serde_json::to_string(&a).unwrap();
+    let bj = serde_json::to_string(&b).unwrap();
+    assert_eq!(aj, bj, "--jobs 1 and --jobs 8 must agree bit-for-bit");
+}
