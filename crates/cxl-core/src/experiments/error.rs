@@ -1,0 +1,50 @@
+//! Typed errors for experiment result handling.
+//!
+//! Experiment tables index rows by Table 1 config labels; a lookup for
+//! a label that never ran used to `.unwrap()` and panic deep inside an
+//! assertion helper. Like `TierError`/`PerfError` in the lower layers,
+//! the failure is now a value the caller can match on.
+
+/// A recoverable experiment-layer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// No result row carries this config label. Carries the label that
+    /// was requested and the labels that exist, so the message shows
+    /// the typo or the missing sweep cell directly.
+    UnknownConfig {
+        /// The label that was looked up.
+        label: String,
+        /// Labels actually present in the result set.
+        available: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::UnknownConfig { label, available } => write!(
+                f,
+                "no result row for config {label:?} (available: {})",
+                available.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_label_and_candidates() {
+        let e = ExperimentError::UnknownConfig {
+            label: "3:1".into(),
+            available: vec!["MMEM".into(), "1:1".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("\"3:1\""), "{msg}");
+        assert!(msg.contains("MMEM, 1:1"), "{msg}");
+    }
+}

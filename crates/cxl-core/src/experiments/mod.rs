@@ -15,10 +15,13 @@
 //! | [`replication`] | Multi-seed mean ± std for any experiment metric |
 //! | [`faults`] | Graceful degradation: KeyDB across expander faults of rising severity |
 //! | [`pool`] | §7.1 projection: dynamic multi-host pooling vs static per-host provisioning |
+//! | [`autotune`] | Online adaptive control (`cxl-ctl`) vs every static config on a phased trace |
 
+pub mod autotune;
 pub mod balancer;
 pub mod colocation;
 pub mod cost;
+pub mod error;
 pub mod faults;
 pub mod keydb;
 pub mod latency;

@@ -13,6 +13,7 @@ use cxl_topology::{SncMode, Topology};
 use cxl_ycsb::Workload;
 
 use crate::config::CapacityConfig;
+use crate::experiments::error::ExperimentError;
 use crate::runner::Runner;
 
 /// Sizing of an SLO study.
@@ -70,6 +71,21 @@ pub struct SloRow {
     pub points: Vec<(f64, f64)>,
     /// Highest probed rate meeting the budget (0 when none).
     pub max_rate: f64,
+}
+
+/// Looks up the SLO capacity (`max_rate`) of the row labelled `label`.
+///
+/// Returns [`ExperimentError::UnknownConfig`] — naming the labels that
+/// do exist — when no row matches, instead of panicking inside a
+/// comparison chain.
+pub fn max_rate_of(rows: &[SloRow], label: &str) -> Result<f64, ExperimentError> {
+    rows.iter()
+        .find(|r| r.config == label)
+        .map(|r| r.max_rate)
+        .ok_or_else(|| ExperimentError::UnknownConfig {
+            label: label.to_string(),
+            available: rows.iter().map(|r| r.config.to_string()).collect(),
+        })
 }
 
 /// Probes one placement across the configured rates.
@@ -142,11 +158,18 @@ mod tests {
             ],
             &p,
         );
-        let cap = |label: &str| rows.iter().find(|r| r.config == label).unwrap().max_rate;
+        let cap = |label: &str| max_rate_of(&rows, label).expect("probed config");
         assert!(cap("MMEM") >= cap("1:1"), "{rows:?}");
         assert!(cap("1:1") >= cap("1:3"), "{rows:?}");
         // The heavy-CXL placement loses capacity under the budget.
         assert!(cap("1:3") < cap("MMEM"));
+        // A label that never ran is a typed error, not a panic.
+        let missing = max_rate_of(&rows, "3:1").unwrap_err();
+        assert!(matches!(
+            missing,
+            ExperimentError::UnknownConfig { ref label, ref available }
+                if label == "3:1" && available.len() == 3
+        ));
     }
 
     #[test]

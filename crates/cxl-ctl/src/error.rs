@@ -1,0 +1,67 @@
+//! Typed control-plane errors.
+
+/// A recoverable control-plane failure.
+///
+/// Like `TierError`/`PerfError` in the layers below, these are values a
+/// caller can match on. A plant returning [`CtlError::Rejected`] tells
+/// the controller an actuation is not currently legal (capacity,
+/// policy, or rate constraints downstream); the controller counts it
+/// and moves on — a rejection is the guardrail *working*, not a
+/// violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlError {
+    /// The knob index does not exist in the controller's knob table.
+    UnknownKnob(usize),
+    /// The setting index is out of range for the knob's ladder.
+    UnknownSetting {
+        /// Knob the setting was addressed to.
+        knob: usize,
+        /// The out-of-range setting index.
+        setting: usize,
+        /// Ladder length of that knob.
+        len: usize,
+    },
+    /// The plant declined the actuation; the message says why (e.g. a
+    /// lease grow past pool capacity, a retune on a policy that does
+    /// not support it).
+    Rejected(String),
+    /// A controller configuration constraint failed; the message names
+    /// it.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for CtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtlError::UnknownKnob(k) => write!(f, "unknown knob index {k}"),
+            CtlError::UnknownSetting { knob, setting, len } => write!(
+                f,
+                "setting {setting} out of range for knob {knob} (ladder length {len})"
+            ),
+            CtlError::Rejected(msg) => write!(f, "actuation rejected: {msg}"),
+            CtlError::InvalidConfig(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CtlError::UnknownKnob(3).to_string().contains('3'));
+        let e = CtlError::UnknownSetting {
+            knob: 1,
+            setting: 9,
+            len: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('9') && msg.contains('4'), "{msg}");
+        assert!(CtlError::Rejected("pool full".into())
+            .to_string()
+            .contains("pool full"));
+    }
+}

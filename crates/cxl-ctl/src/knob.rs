@@ -1,0 +1,116 @@
+//! The actuator plane: typed knobs and the plant they act on.
+//!
+//! A *knob* is a named, ordered ladder of discrete settings (promotion
+//! rate limits, N:M interleave ratios, pool lease sizes). The
+//! controller only reasons about `(knob index, setting index)` pairs;
+//! the *plant* — the live system under control — translates an index
+//! pair into real actuation (a `TierManager` retune, a pool
+//! grow/shrink through the rate-limited evacuation path) and is free to
+//! reject an action that is not currently legal.
+
+use serde::Serialize;
+
+use crate::error::CtlError;
+
+/// One tunable knob: a name and an ordered ladder of settings.
+///
+/// Settings are ordered so the hill climber can probe "one step up /
+/// one step down". `value` is the numeric magnitude the ladder is
+/// ordered by (bytes/s, slabs, DRAM fraction); `label` is what reports
+/// print.
+#[derive(Debug, Clone, Serialize)]
+pub struct KnobSpec {
+    /// Knob name (`promote_rate`, `lease_slabs`, `interleave`).
+    pub name: String,
+    /// Human-readable label per setting, index-aligned with `values`.
+    pub labels: Vec<String>,
+    /// Numeric magnitude per setting (monotone along the ladder).
+    pub values: Vec<f64>,
+    /// Ticks this knob stays on cooldown after a committed change.
+    pub cooldown_ticks: u32,
+}
+
+impl KnobSpec {
+    /// Builds a knob from `(label, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty — a knob with no settings cannot
+    /// be probed or even held at a current value.
+    pub fn new(
+        name: impl Into<String>,
+        settings: impl IntoIterator<Item = (String, f64)>,
+        cooldown_ticks: u32,
+    ) -> Self {
+        let (labels, values): (Vec<_>, Vec<_>) = settings.into_iter().unzip();
+        assert!(!labels.is_empty(), "knob ladder must not be empty");
+        Self {
+            name: name.into(),
+            labels,
+            values,
+            cooldown_ticks,
+        }
+    }
+
+    /// Number of settings on the ladder.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the ladder has no settings (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// The system under control.
+///
+/// `apply` must be **transactional**: either the setting takes effect
+/// and `Ok(())` returns, or nothing changed and an error describes why.
+/// The controller relies on this to roll back by re-applying the
+/// previous setting. Rejections ([`CtlError::Rejected`]) are normal
+/// operation — a lease grow can race pool exhaustion — and are counted,
+/// not escalated.
+///
+/// `check_invariants` is the guardrail hook: called after every
+/// successful actuation, it verifies plant-level safety conditions
+/// (capacity never exceeded, no stranded pages). A failure increments
+/// the `ctl/guardrail_violations` counter that CI gates on — it means
+/// the actuator plane itself misbehaved, not that a probe was merely
+/// unprofitable.
+pub trait Plant {
+    /// Applies setting `setting` of knob `knob` to the live system.
+    fn apply(&mut self, knob: usize, setting: usize) -> Result<(), CtlError>;
+
+    /// Verifies plant-level safety invariants; `Err` names the breach.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_from_pairs() {
+        let k = KnobSpec::new(
+            "promote_rate",
+            [
+                ("64MiB/s".to_string(), 64e6),
+                ("256MiB/s".to_string(), 256e6),
+            ],
+            3,
+        );
+        assert_eq!(k.len(), 2);
+        assert!(!k.is_empty());
+        assert_eq!(k.labels[1], "256MiB/s");
+        assert_eq!(k.cooldown_ticks, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_ladder_rejected() {
+        KnobSpec::new("x", Vec::<(String, f64)>::new(), 0);
+    }
+}

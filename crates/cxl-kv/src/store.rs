@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::collections::VecDeque;
 
-use cxl_perf::{calib, MemSystem};
+use cxl_perf::{calib, MemSystem, ResourceKind};
 
 /// Extra software latency per operation when FLASH mode is on: KeyDB
 /// routes reads through the RocksDB memtable/block-cache path even for
@@ -291,6 +291,35 @@ impl KvStore {
         Ok(report)
     }
 
+    /// Raises `node`'s capacity (a pool lease granted mid-run). Newly
+    /// granted room is picked up by the next SSD cache-in or insert —
+    /// no repricing is needed until traffic actually lands there.
+    pub fn grow_expander(
+        &mut self,
+        node: NodeId,
+        new_capacity_bytes: u64,
+    ) -> Result<(), TierError> {
+        self.tm.grow_node(node, new_capacity_bytes)
+    }
+
+    /// Retunes the live promotion rate limit (see
+    /// [`TierManager::set_promote_rate`]), effective at the store's
+    /// current clock.
+    pub fn set_promote_rate(&mut self, bytes_per_sec: f64) -> Result<(), TierError> {
+        self.tm.set_promote_rate(self.now, bytes_per_sec)
+    }
+
+    /// Retunes the bandwidth-aware demote batch (see
+    /// [`TierManager::set_demote_batch`]).
+    pub fn set_demote_batch(&mut self, batch: usize) -> Result<(), TierError> {
+        self.tm.set_demote_batch(batch)
+    }
+
+    /// The store's tiering clock (advances as workload runs execute).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
     fn page_index_of_key(&self, key: u64) -> usize {
         ((key * self.cfg.value_size) / self.tm.page_size()) as usize
     }
@@ -359,7 +388,7 @@ impl KvStore {
                 let mut guard = 16;
                 while guard > 0 && !self.ring.is_empty() {
                     guard -= 1;
-                    let mut best: Option<(usize, u32)> = None;
+                    let mut candidates: Vec<(usize, u32)> = Vec::with_capacity(SAMPLE);
                     for _ in 0..SAMPLE.min(self.ring.len()) {
                         let idx = self.evict_rng.gen_range(0..self.ring.len());
                         let page = self.ring[idx];
@@ -367,11 +396,9 @@ impl KvStore {
                             continue;
                         }
                         let f = self.freq.get(&page).copied().unwrap_or(0);
-                        if best.is_none() || f < best.unwrap().1 {
-                            best = Some((idx, f));
-                        }
+                        candidates.push((idx, f));
                     }
-                    if let Some((idx, _)) = best {
+                    if let Some((idx, _)) = cxl_stats::argmin_by(candidates, |&(_, f)| f) {
                         self.ring.swap(idx, 0);
                         let victim = self.ring.pop_front()?;
                         self.referenced.remove(&victim);
@@ -533,6 +560,21 @@ impl KvStore {
                 let res = self.sys.solve(&flows);
                 for (f, o) in flows.iter().zip(res.flows.iter()) {
                     self.lat_ns[f.node.0] = o.latency_ns;
+                }
+                // Feed the §5.3 bandwidth-awareness input from the same
+                // solve: the accessor socket's DRAM DDR-group
+                // utilization drives the tier manager's promote/demote
+                // watermark logic on the tick below. A no-op unless the
+                // bandwidth-aware migration mode is configured.
+                let socket = self.sys.sockets()[0];
+                if let Some(dram) =
+                    self.sys.nodes().iter().find(|n| {
+                        n.socket == socket && n.tier == cxl_topology::MemoryTier::LocalDram
+                    })
+                {
+                    self.tm.set_dram_bandwidth_util(
+                        res.utilization_of(ResourceKind::DdrGroup(dram.id)),
+                    );
                 }
             }
         }

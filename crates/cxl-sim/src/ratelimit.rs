@@ -101,6 +101,37 @@ impl TokenBucket {
         self.refill(now);
         self.rate_per_sec = rate_per_sec;
     }
+
+    /// The configured burst capacity.
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    /// Retunes both refill rate and burst capacity at `now` (a runtime
+    /// controller changing a rate limit mid-run, where [`set_rate`]
+    /// alone would leave the old burst ceiling in force).
+    ///
+    /// Accrued tokens are settled at the old rate first, then clamped
+    /// to the new burst — shrinking the burst forfeits the excess
+    /// immediately; growing it never mints tokens the old rate had not
+    /// already earned.
+    ///
+    /// [`set_rate`]: TokenBucket::set_rate
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new rate or burst is not positive and finite.
+    pub fn retune(&mut self, now: SimTime, rate_per_sec: f64, burst: f64) {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "invalid rate {rate_per_sec}"
+        );
+        assert!(burst > 0.0 && burst.is_finite(), "invalid burst {burst}");
+        self.refill(now);
+        self.rate_per_sec = rate_per_sec;
+        self.burst = burst;
+        self.tokens = self.tokens.min(burst);
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +181,50 @@ mod tests {
     #[should_panic(expected = "invalid rate")]
     fn zero_rate_panics() {
         TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn retune_changes_rate_and_burst() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        assert!(b.try_take(SimTime::ZERO, 50.0));
+        b.retune(SimTime::ZERO, 1_000.0, 200.0);
+        assert_eq!(b.rate_per_sec(), 1_000.0);
+        assert_eq!(b.burst(), 200.0);
+        // 0.5 s at the new rate: 500 earned, capped at the new burst.
+        assert!((b.available(SimTime::from_ms(500)) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retune_settles_at_old_rate_before_switching() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        assert!(b.try_take(SimTime::ZERO, 50.0));
+        // 100 ms at the *old* 100/s rate earns 10 tokens; the retune
+        // must not re-price that elapsed interval at the new rate.
+        b.retune(SimTime::from_ms(100), 1_000.0, 50.0);
+        assert!((b.available(SimTime::from_ms(100)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retune_shrinking_burst_forfeits_excess() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        // Full at 50; shrinking the burst to 10 clamps immediately.
+        b.retune(SimTime::ZERO, 100.0, 10.0);
+        assert!((b.available(SimTime::ZERO) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retune_growing_burst_does_not_mint_tokens() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        assert!(b.try_take(SimTime::ZERO, 50.0));
+        b.retune(SimTime::ZERO, 100.0, 500.0);
+        assert_eq!(b.available(SimTime::ZERO), 0.0, "no free tokens");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid burst")]
+    fn retune_rejects_zero_burst() {
+        let mut b = TokenBucket::new(1.0, 1.0);
+        b.retune(SimTime::ZERO, 1.0, 0.0);
     }
 
     #[test]

@@ -15,14 +15,18 @@
 //! * [`chart`] — ASCII line charts so figure shapes render in a terminal.
 //! * [`rng`] — deterministic seed derivation so every experiment is
 //!   reproducible from a single root seed.
+//! * [`select`] — shared argmin/argmax scans with a pinned first-wins
+//!   tie-break so deterministic simulations agree on "the best candidate".
 
 pub mod chart;
 pub mod dist;
 pub mod histogram;
 pub mod report;
 pub mod rng;
+pub mod select;
 pub mod summary;
 
 pub use dist::{Exponential, KeyChooser, Latest, Normal, ScrambledZipfian, Uniform, Zipfian};
 pub use histogram::Histogram;
+pub use select::{argmax_by, argmin_by};
 pub use summary::Summary;

@@ -1,0 +1,140 @@
+//! Argmin/argmax scans shared across the workspace.
+//!
+//! Several layers pick "the best candidate under a key" by hand-rolling
+//! the same scan — the KeyDB LFU victim sampler compared `best.is_none()
+//! || f < best.unwrap().1` per candidate, and the tier manager's
+//! demotion/evacuation target selection carried its own tuple-key scans.
+//! Hand-rolled variants drift on the tie-break rule (first vs last
+//! minimum), which silently changes deterministic simulations, so the
+//! scan lives here once with the tie-break pinned: **the first minimum
+//! wins**, matching `Iterator::min_by_key`.
+//!
+//! Keys only need [`PartialOrd`] (an `f64` key works); a key that is
+//! incomparable with itself (NaN) makes its item ineligible, so a
+//! NaN-keyed candidate can never be selected.
+
+/// Returns the item with the smallest key, scanning in iteration order.
+///
+/// Ties keep the earliest item. Returns `None` for an empty iterator.
+///
+/// # Examples
+///
+/// ```
+/// let nodes = [(0, 3.0_f64), (1, 1.5), (2, 1.5)];
+/// let best = cxl_stats::argmin_by(nodes, |&(_, load)| load);
+/// assert_eq!(best, Some((1, 1.5))); // first of the tied pair
+/// ```
+pub fn argmin_by<T, K, I>(items: I, mut key: impl FnMut(&T) -> K) -> Option<T>
+where
+    I: IntoIterator<Item = T>,
+    K: PartialOrd,
+{
+    let mut best: Option<(T, K)> = None;
+    for item in items {
+        let k = key(&item);
+        if k.partial_cmp(&k).is_none() {
+            continue; // NaN-keyed: ineligible.
+        }
+        // Incomparable against the incumbent keeps the incumbent.
+        let wins = match &best {
+            Some((_, bk)) => k.partial_cmp(bk) == Some(core::cmp::Ordering::Less),
+            None => true,
+        };
+        if wins {
+            best = Some((item, k));
+        }
+    }
+    best.map(|(item, _)| item)
+}
+
+/// Returns the item with the largest key, scanning in iteration order.
+///
+/// Ties keep the earliest item. Returns `None` for an empty iterator.
+pub fn argmax_by<T, K, I>(items: I, mut key: impl FnMut(&T) -> K) -> Option<T>
+where
+    I: IntoIterator<Item = T>,
+    K: PartialOrd,
+{
+    let mut best: Option<(T, K)> = None;
+    for item in items {
+        let k = key(&item);
+        if k.partial_cmp(&k).is_none() {
+            continue; // NaN-keyed: ineligible.
+        }
+        // Incomparable against the incumbent keeps the incumbent.
+        let wins = match &best {
+            Some((_, bk)) => k.partial_cmp(bk) == Some(core::cmp::Ordering::Greater),
+            None => true,
+        };
+        if wins {
+            best = Some((item, k));
+        }
+    }
+    best.map(|(item, _)| item)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_yields_none() {
+        assert_eq!(argmin_by(Vec::<u32>::new(), |&x| x), None);
+        assert_eq!(argmax_by(Vec::<u32>::new(), |&x| x), None);
+    }
+
+    #[test]
+    fn single_item_wins() {
+        assert_eq!(argmin_by([7], |&x| x), Some(7));
+        assert_eq!(argmax_by([7], |&x| x), Some(7));
+    }
+
+    #[test]
+    fn picks_minimum_and_maximum() {
+        let v = [5, 2, 9, 1, 8];
+        assert_eq!(argmin_by(v, |&x| x), Some(1));
+        assert_eq!(argmax_by(v, |&x| x), Some(9));
+    }
+
+    #[test]
+    fn first_minimum_wins_on_ties() {
+        // Matches Iterator::min_by_key semantics: earliest of the tied
+        // items. (max_by_key keeps the *last* maximum; argmax_by pins
+        // first-wins instead, so both scans share one tie-break rule.)
+        let v = [("a", 2), ("b", 1), ("c", 1), ("d", 2)];
+        assert_eq!(argmin_by(v, |&(_, k)| k), Some(("b", 1)));
+        assert_eq!(argmax_by(v, |&(_, k)| k), Some(("a", 2)));
+    }
+
+    #[test]
+    fn matches_min_by_key_semantics() {
+        let v: Vec<(usize, u64)> = (0..50).map(|i| (i, (i as u64 * 31) % 17)).collect();
+        let expect = v.iter().copied().min_by_key(|&(_, k)| k);
+        assert_eq!(argmin_by(v.iter().copied(), |&(_, k)| k), expect);
+    }
+
+    #[test]
+    fn float_keys_work() {
+        let v = [(0usize, 3.5_f64), (1, 0.25), (2, 2.0)];
+        assert_eq!(argmin_by(v, |&(_, k)| k), Some((1, 0.25)));
+        assert_eq!(argmax_by(v, |&(_, k)| k), Some((0, 3.5)));
+    }
+
+    #[test]
+    fn nan_keys_never_win_over_comparable() {
+        let v = [(0usize, f64::NAN), (1, 2.0), (2, 1.0)];
+        assert_eq!(argmin_by(v, |&(_, k)| k), Some((2, 1.0)));
+        let w = [(0usize, 2.0), (1, f64::NAN)];
+        assert_eq!(argmax_by(w, |&(_, k)| k), Some((0, 2.0)));
+        // All-NaN: nothing is eligible.
+        assert_eq!(argmin_by([(0usize, f64::NAN)], |&(_, k)| k), None);
+    }
+
+    #[test]
+    fn tuple_keys_order_lexicographically() {
+        // The tier manager keys on (remote socket?, node id).
+        let nodes = [(2, true, 0), (3, false, 1), (4, false, 2)];
+        let best = argmin_by(nodes, |&(_, remote, id)| (remote, id));
+        assert_eq!(best, Some((3, false, 1)));
+    }
+}

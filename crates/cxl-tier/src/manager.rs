@@ -387,6 +387,83 @@ impl TierManager {
         Ok(())
     }
 
+    /// The configured promotion rate limit in bytes/second, when a
+    /// rate-limited migration mode (hot-page selection or
+    /// bandwidth-aware) is active.
+    pub fn promote_rate(&self) -> Option<f64> {
+        match &self.cfg.migration {
+            MigrationMode::HotPageSelection(h)
+            | MigrationMode::BandwidthAware(crate::migration::BandwidthAwareConfig {
+                base: h,
+                ..
+            }) => Some(h.promote_rate_limit_bytes_per_sec),
+            _ => None,
+        }
+    }
+
+    /// Retunes the promotion rate limit at runtime, mirroring a write
+    /// to `numa_balancing_promote_rate_limit_MBps` (§2.3) on a live
+    /// system. Both the configured limit and the live token bucket
+    /// change (rate and one-second burst, matching construction);
+    /// already-accrued budget is settled at the old rate first, so the
+    /// retune never re-prices an elapsed interval.
+    ///
+    /// Errors (leaving everything unchanged) when no rate-limited
+    /// migration mode is active or the rate is not positive and finite.
+    pub fn set_promote_rate(&mut self, now: SimTime, bytes_per_sec: f64) -> Result<(), TierError> {
+        if !(bytes_per_sec > 0.0 && bytes_per_sec.is_finite()) {
+            return Err(TierError::InvalidConfig(format!(
+                "promotion rate limit must be positive and finite, got {bytes_per_sec}"
+            )));
+        }
+        let h = match &mut self.cfg.migration {
+            MigrationMode::HotPageSelection(h) => h,
+            MigrationMode::BandwidthAware(b) => &mut b.base,
+            _ => {
+                return Err(TierError::WrongPolicy(
+                    "set_promote_rate requires a rate-limited migration mode",
+                ))
+            }
+        };
+        h.promote_rate_limit_bytes_per_sec = bytes_per_sec;
+        self.promo_bucket
+            .as_mut()
+            .expect("rate-limited modes always carry a promo bucket")
+            .retune(now, bytes_per_sec, bytes_per_sec);
+        Ok(())
+    }
+
+    /// The configured bandwidth-aware demote batch (pages per tick
+    /// while DRAM is over the high watermark), when that mode is active.
+    pub fn demote_batch(&self) -> Option<usize> {
+        match &self.cfg.migration {
+            MigrationMode::BandwidthAware(b) => Some(b.demote_batch),
+            _ => None,
+        }
+    }
+
+    /// Retunes the bandwidth-aware demote batch at runtime.
+    ///
+    /// Errors (leaving the config unchanged) when the migration mode is
+    /// not bandwidth-aware, or when `batch` is zero — the same
+    /// constraint [`crate::migration::BandwidthAwareConfig::validate`]
+    /// enforces at construction, since a zero batch silently disables
+    /// over-watermark demotion.
+    pub fn set_demote_batch(&mut self, batch: usize) -> Result<(), TierError> {
+        let MigrationMode::BandwidthAware(b) = &mut self.cfg.migration else {
+            return Err(TierError::WrongPolicy(
+                "set_demote_batch requires the bandwidth-aware migration mode",
+            ));
+        };
+        let candidate = crate::migration::BandwidthAwareConfig {
+            demote_batch: batch,
+            ..*b
+        };
+        candidate.validate()?;
+        *b = candidate;
+        Ok(())
+    }
+
     /// Allocates one page per the placement policy.
     pub fn alloc(&mut self, now: SimTime) -> Result<PageId, OutOfMemory> {
         let candidates = self.cursor.next_candidates();
@@ -593,11 +670,13 @@ impl TierManager {
     /// hop costs ~485 ns per access against ~250 ns local (§3.2), so
     /// locality is worth preserving whenever local capacity remains.
     fn demotion_target(&self, prefer: SocketId) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| !n.tier.is_top_tier() && n.used_pages < n.capacity_pages)
-            .min_by_key(|n| (n.socket != prefer, n.id.0))
-            .map(|n| n.id)
+        cxl_stats::argmin_by(
+            self.nodes
+                .iter()
+                .filter(|n| !n.tier.is_top_tier() && n.used_pages < n.capacity_pages),
+            |n| (n.socket != prefer, n.id.0),
+        )
+        .map(|n| n.id)
     }
 
     /// Moves an already-unlinked demotion victim to `target`,
@@ -904,11 +983,13 @@ impl TierManager {
     /// socket, lowest id as the tiebreak.
     fn evacuation_target(&self, failed: NodeId) -> Option<NodeId> {
         let prefer = self.cfg.accessor_socket;
-        self.nodes
-            .iter()
-            .filter(|n| n.id != failed && n.used_pages < n.capacity_pages)
-            .min_by_key(|n| (n.tier.is_top_tier(), n.socket != prefer, n.id.0))
-            .map(|n| n.id)
+        cxl_stats::argmin_by(
+            self.nodes
+                .iter()
+                .filter(|n| n.id != failed && n.used_pages < n.capacity_pages),
+            |n| (n.tier.is_top_tier(), n.socket != prefer, n.id.0),
+        )
+        .map(|n| n.id)
     }
 
     /// Samples per-node occupancy into `tier/node{N}/occupancy_pages`
@@ -1455,6 +1536,83 @@ mod tests {
             .expect_err("bind policy must reject");
         assert!(matches!(err, TierError::WrongPolicy(_)), "{err:?}");
         assert!(err.to_string().contains("requires an InterleaveNm policy"));
+    }
+
+    #[test]
+    fn set_promote_rate_retunes_config_and_bucket() {
+        let mut tm = bw_aware_manager();
+        assert_eq!(tm.promote_rate(), Some(1e12));
+        tm.set_promote_rate(SimTime::from_ms(10), 4096.0).unwrap();
+        assert_eq!(tm.promote_rate(), Some(4096.0));
+        // The live bucket follows: the old (effectively unlimited)
+        // budget is gone, so a promotion-sized take beyond the new
+        // one-second burst fails.
+        let b = tm.promo_bucket.as_mut().unwrap();
+        assert_eq!(b.rate_per_sec(), 4096.0);
+        assert_eq!(b.burst(), 4096.0);
+        assert!(!b.try_take(SimTime::from_ms(10), 8192.0));
+    }
+
+    #[test]
+    fn set_promote_rate_rejects_bad_inputs() {
+        let mut tm = bw_aware_manager();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = tm
+                .set_promote_rate(SimTime::ZERO, bad)
+                .expect_err("invalid rate must be rejected");
+            assert!(matches!(err, TierError::InvalidConfig(_)), "{err:?}");
+        }
+        assert_eq!(tm.promote_rate(), Some(1e12), "config unchanged");
+        // Non-rate-limited modes have no bucket to retune.
+        let mut plain = TierManager::new(&topo(), TierConfig::bind(vec![DRAM0]));
+        assert_eq!(plain.promote_rate(), None);
+        let err = plain
+            .set_promote_rate(SimTime::ZERO, 4096.0)
+            .expect_err("MigrationMode::None must reject");
+        assert!(matches!(err, TierError::WrongPolicy(_)), "{err:?}");
+    }
+
+    #[test]
+    fn set_demote_batch_retunes_bandwidth_aware_mode() {
+        let mut tm = bw_aware_manager();
+        assert_eq!(tm.demote_batch(), Some(8));
+        tm.set_demote_batch(32).unwrap();
+        assert_eq!(tm.demote_batch(), Some(32));
+        // Zero re-checks the construction-time validation.
+        let err = tm.set_demote_batch(0).expect_err("zero batch rejected");
+        assert!(matches!(err, TierError::InvalidConfig(_)), "{err:?}");
+        assert_eq!(tm.demote_batch(), Some(32), "config unchanged");
+        // Other modes cannot demote by batch at all.
+        let mut plain = TierManager::new(&topo(), TierConfig::bind(vec![DRAM0]));
+        assert_eq!(plain.demote_batch(), None);
+        assert!(matches!(
+            plain.set_demote_batch(8),
+            Err(TierError::WrongPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn set_demote_batch_changes_live_demotion_pressure() {
+        use crate::migration::BandwidthAwareConfig;
+        let mut cfg = TierConfig::bind(vec![DRAM0]);
+        cfg.migration = MigrationMode::BandwidthAware(BandwidthAwareConfig {
+            demote_batch: 4,
+            ..Default::default()
+        });
+        let mut tm = TierManager::new(&topo(), cfg);
+        tm.alloc_n(100, SimTime::ZERO).unwrap();
+        tm.set_dram_bandwidth_util(0.95);
+        tm.tick(SimTime::from_ms(200));
+        let after_small = tm.node_usage(CXL0).0;
+        assert!((4..=8).contains(&after_small), "{after_small}");
+        // Widen the batch: the next over-watermark tick demotes more.
+        tm.set_demote_batch(32).unwrap();
+        tm.tick(SimTime::from_ms(400));
+        assert!(
+            tm.node_usage(CXL0).0 >= after_small + 16,
+            "batch retune had no effect: {}",
+            tm.node_usage(CXL0).0
+        );
     }
 
     #[test]

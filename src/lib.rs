@@ -8,6 +8,7 @@
 pub use cxl_alloc as alloc;
 pub use cxl_core as core_api;
 pub use cxl_cost as cost;
+pub use cxl_ctl as ctl;
 pub use cxl_fault as fault;
 pub use cxl_kv as kv;
 pub use cxl_llm as llm;
@@ -34,6 +35,7 @@ pub use cxl_ycsb as ycsb;
 pub mod prelude {
     pub use cxl_core::CapacityConfig;
     pub use cxl_cost::{CostModel, CostModelParams, RevenueModel};
+    pub use cxl_ctl::{Controller, ControllerConfig, Guardrails, KnobSpec, Plant};
     pub use cxl_fault::{FaultEvent, FaultKind, FaultSchedule};
     pub use cxl_perf::{AccessMix, FlowSpec, MemSystem, PerfTuning};
     pub use cxl_sim::{Engine, SimTime};

@@ -1,0 +1,76 @@
+//! Convergence regression for the `cxl-ctl` autotune study: the online
+//! controller must land within 10% of the best static configuration in
+//! every phase window, beat every static configuration over the full
+//! phased trace, and re-lease pool capacity after the mid-run expander
+//! death — all with zero guardrail violations.
+//!
+//! The smoke-scale test runs in the default suite; the default-scale
+//! run (the numbers the `autotune` bench reports) is behind `--ignored`
+//! like the other full-scale regenerations.
+
+use cxl_repro::core_api::experiments::autotune::{run_with, AutotuneParams, AutotuneStudy};
+use cxl_repro::core_api::Runner;
+
+fn assert_headline_claims(s: &AutotuneStudy, scale: &str) {
+    assert_eq!(
+        s.total_violations(),
+        0,
+        "{scale}: guardrail violations across every cell"
+    );
+
+    let kv = s.kv_adaptive();
+    assert!(
+        s.kv_adaptive_within(0.10),
+        "{scale}: kv adaptive fell >10% behind a per-phase best static: {:?}",
+        kv.phase_windows
+    );
+    assert!(
+        kv.total > s.kv_best_static_total(),
+        "{scale}: kv adaptive total {} must beat best static total {}",
+        kv.total,
+        s.kv_best_static_total()
+    );
+    assert!(
+        kv.final_slabs > 0,
+        "{scale}: post-fault capacity pressure must make the controller lease"
+    );
+
+    let llm = s.llm_adaptive();
+    assert!(
+        s.llm_adaptive_within(0.10),
+        "{scale}: llm adaptive fell >10% behind a per-stage best static: {:?}",
+        llm.stage_windows
+    );
+    assert!(
+        llm.total > s.llm_best_static_total(),
+        "{scale}: llm adaptive total {} must beat best static total {}",
+        llm.total,
+        s.llm_best_static_total()
+    );
+    assert!(
+        llm.commits >= 2,
+        "{scale}: the ramp forces at least two placement moves, saw {}",
+        llm.commits
+    );
+}
+
+#[test]
+fn autotune_converges_at_smoke_scale() {
+    let study = run_with(&Runner::new(2), AutotuneParams::smoke());
+    assert_headline_claims(&study, "smoke");
+}
+
+#[test]
+#[ignore = "full autotune study at default scale (~minutes in debug)"]
+fn autotune_converges_at_default_scale() {
+    let study = run_with(&Runner::new(4), AutotuneParams::default());
+    assert_headline_claims(&study, "default");
+    // The default-scale run additionally pins the recovery story: the
+    // post-fault window is where the adaptive margin comes from.
+    let kv = study.kv_adaptive();
+    let post_fault = *kv.phase_windows.last().expect("phase windows");
+    assert!(
+        post_fault > study.kv_best_static_window(kv.phase_windows.len() - 1),
+        "default: adaptive must win the post-fault window outright"
+    );
+}

@@ -5,7 +5,9 @@
 //! any re-ordered cell, perturbed random stream, or float that changed
 //! by one ulp fails the test.
 
-use cxl_repro::core_api::experiments::{balancer, colocation, keydb, latency, llm, slo, spark, vm};
+use cxl_repro::core_api::experiments::{
+    autotune, balancer, colocation, keydb, latency, llm, slo, spark, vm,
+};
 use cxl_repro::core_api::{CapacityConfig, Runner};
 
 fn assert_bit_identical<T: serde::Serialize>(serial: &T, parallel: &T, what: &str) {
@@ -109,6 +111,17 @@ fn balancer_parallel_matches_serial() {
     let a = balancer::run_with(&Runner::new(1), params);
     let b = balancer::run_with(&Runner::new(8), params);
     assert_bit_identical(&a, &b, "balancer");
+}
+
+#[test]
+fn autotune_parallel_matches_serial() {
+    // The control plane runs as engine events, so the whole closed-loop
+    // study — probes, rollbacks, the mid-run expander death — must be
+    // bit-identical under any worker count.
+    let params = autotune::AutotuneParams::smoke();
+    let a = autotune::run_with(&Runner::new(1), params);
+    let b = autotune::run_with(&Runner::new(8), params);
+    assert_bit_identical(&a, &b, "autotune");
 }
 
 #[test]
