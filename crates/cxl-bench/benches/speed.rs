@@ -1,0 +1,48 @@
+//! The engine speed program's trajectory benches (ROADMAP item 1).
+//!
+//! Three slices, exported per-PR into `BENCH_*.json` (see
+//! EXPERIMENTS.md "Benchmarking"): engine churn with heavy
+//! cancellation on both the arena engine and the pre-arena legacy copy
+//! (their ratio is the headline speedup), the solver knob-probe loop on
+//! the incremental and monolithic paths, and a reduced Fig. 5 KV cell
+//! as the end-to-end macro slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cxl_bench::speed;
+
+fn bench_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("speed");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+
+    // Engine churn: 4 waves of 50k timers, 95% cancelled before
+    // firing — the backlog peaks at 50k pending events, the regime the
+    // legacy side-map design pays for in cache misses.
+    g.bench_function("engine_churn_arena", |b| {
+        b.iter(|| black_box(speed::churn_arena(4, 50_000)))
+    });
+    g.bench_function("engine_churn_legacy", |b| {
+        b.iter(|| black_box(speed::churn_legacy(4, 50_000)))
+    });
+
+    // Solver knob probes: 64 single-flow perturbations per iteration.
+    g.bench_function("solver_probes_incremental", |b| {
+        b.iter(|| black_box(speed::solver_probe_slice(64, true)))
+    });
+    g.bench_function("solver_probes_reference", |b| {
+        b.iter(|| black_box(speed::solver_probe_slice(64, false)))
+    });
+
+    // KV macro slice: one reduced Fig. 5 cell (Hot-Promote, YCSB-C).
+    g.bench_function("kv_fig5_slice", |b| {
+        b.iter(|| black_box(speed::fig5_slice(10_000, 8_000, 20_000)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(speed_benches, bench_speed);
+criterion_main!(speed_benches);

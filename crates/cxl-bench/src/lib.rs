@@ -12,6 +12,8 @@
 
 use serde::Serialize;
 
+pub mod speed;
+
 /// True when `--json` was passed on the command line.
 pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")

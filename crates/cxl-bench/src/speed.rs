@@ -1,0 +1,252 @@
+//! Workloads behind `benches/speed.rs` and the bench smoke tests.
+//!
+//! The engine-churn workload models the `cxl-ctl` probe pattern that
+//! motivated the arena engine: every wave schedules a burst of timers,
+//! cancels most of them before they fire (probe timeouts that the probe
+//! beat), and drains the survivors. It runs against both the current
+//! arena engine and [`legacy`], a faithful copy of the pre-arena
+//! `BinaryHeap` + `HashMap` + `cancelled: HashSet` design, so the
+//! `BENCH_*.json` trajectory carries the before/after ratio instead of
+//! a single uninterpretable number.
+//!
+//! The solver-probe workload models `cxl-ctl` autotuning: one knob
+//! moves per step, so one flow of a component-disjoint set is dirtied
+//! per solve. Run `incremental: true` (the production `solve` path)
+//! against `incremental: false` (the monolithic uncached reference) for
+//! the re-solve gain.
+
+use cxl_perf::{AccessMix, FlowSpec, MemSystem};
+use cxl_topology::{NodeId, SncMode, SocketId, Topology};
+
+/// A faithful copy of the pre-arena event engine, kept as the
+/// benchmark baseline. Same semantics the old `cxl-sim` engine had on
+/// the happy path (its `run_until`/`is_idle` bugs are not exercised by
+/// the churn workload); same `cxl-obs` calls, so the comparison
+/// isolates the storage design.
+pub mod legacy {
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap, HashSet};
+
+    use cxl_sim::SimTime;
+
+    /// Handle to a scheduled event.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct EventId(u64);
+
+    type EventFn<S> = Box<dyn FnOnce(&mut Engine<S>)>;
+
+    struct Scheduled<S> {
+        id: EventId,
+        f: EventFn<S>,
+    }
+
+    /// The old heap + side-map + cancel-set engine.
+    pub struct Engine<S> {
+        now: SimTime,
+        seq: u64,
+        heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+        events: HashMap<(SimTime, u64), Scheduled<S>>,
+        cancelled: HashSet<EventId>,
+        state: S,
+        executed: u64,
+    }
+
+    impl<S> Engine<S> {
+        /// Creates an engine at time zero with the given state.
+        pub fn new(state: S) -> Self {
+            Self {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                events: HashMap::new(),
+                cancelled: HashSet::new(),
+                state,
+                executed: 0,
+            }
+        }
+
+        /// Current virtual time.
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        /// Number of events executed so far.
+        pub fn executed(&self) -> u64 {
+            self.executed
+        }
+
+        /// Mutable access to the user state.
+        pub fn state_mut(&mut self) -> &mut S {
+            &mut self.state
+        }
+
+        /// Schedules an event at an absolute time.
+        pub fn schedule_at(
+            &mut self,
+            at: SimTime,
+            f: impl FnOnce(&mut Engine<S>) + 'static,
+        ) -> EventId {
+            assert!(at >= self.now, "cannot schedule into the past");
+            let id = EventId(self.seq);
+            let key = (at, self.seq);
+            self.seq += 1;
+            self.heap.push(Reverse(key));
+            self.events.insert(key, Scheduled { id, f: Box::new(f) });
+            cxl_obs::counter_max("sim/heap_depth_max", self.heap.len() as u64);
+            id
+        }
+
+        /// Marks an event cancelled; the entry is reaped when popped.
+        pub fn cancel(&mut self, id: EventId) {
+            self.cancelled.insert(id);
+        }
+
+        /// Executes the next non-cancelled event.
+        pub fn step(&mut self) -> bool {
+            while let Some(Reverse(key)) = self.heap.pop() {
+                let ev = self
+                    .events
+                    .remove(&key)
+                    .expect("heap key without event entry");
+                if self.cancelled.remove(&ev.id) {
+                    cxl_obs::counter_add("sim/events_cancelled", 1);
+                    continue;
+                }
+                self.now = key.0;
+                self.executed += 1;
+                cxl_obs::counter_add("sim/events_executed", 1);
+                (ev.f)(self);
+                return true;
+            }
+            false
+        }
+
+        /// Runs until the queue drains.
+        pub fn run(&mut self) {
+            while self.step() {}
+        }
+
+        /// Runs events with timestamps `<= until`, then advances the
+        /// clock to `until`.
+        pub fn run_until(&mut self, until: SimTime) {
+            while let Some(&Reverse((t, _))) = self.heap.peek() {
+                if t > until {
+                    break;
+                }
+                self.step();
+            }
+            if self.now < until {
+                self.now = until;
+            }
+        }
+    }
+}
+
+use cxl_sim::SimTime;
+
+/// Wave length in virtual ns; timer offsets stay inside one wave.
+const WAVE_NS: u64 = 1_000;
+
+/// Fraction of each wave's timers cancelled before firing: 19 of 20,
+/// the probe-timeout regime the arena design is built for.
+const KEEP_EVERY: usize = 20;
+
+macro_rules! churn_body {
+    ($engine:ty, $waves:expr, $per_wave:expr) => {{
+        let mut e: $engine = <$engine>::new(0u64);
+        for _ in 0..$waves {
+            let base = e.now();
+            let mut ids = Vec::with_capacity($per_wave);
+            for i in 0..$per_wave {
+                let at = base + SimTime::from_ns(1 + (i as u64 * 7) % (WAVE_NS - 1));
+                ids.push(e.schedule_at(at, |e| *e.state_mut() += 1));
+            }
+            for (i, id) in ids.into_iter().enumerate() {
+                if i % KEEP_EVERY != 0 {
+                    e.cancel(id);
+                }
+            }
+            e.run_until(base + SimTime::from_ns(WAVE_NS));
+        }
+        e.run();
+        e.executed()
+    }};
+}
+
+/// Runs the churn workload on the current arena engine; returns the
+/// executed-event count (for cross-checking against [`churn_legacy`]).
+pub fn churn_arena(waves: usize, per_wave: usize) -> u64 {
+    churn_body!(cxl_sim::Engine<u64>, waves, per_wave)
+}
+
+/// Runs the identical workload on the [`legacy`] engine copy.
+pub fn churn_legacy(waves: usize, per_wave: usize) -> u64 {
+    churn_body!(legacy::Engine<u64>, waves, per_wave)
+}
+
+/// The SNC-4 testbed system plus a 24-flow set over the six
+/// socket-local nodes of socket 0 (four flows per node), shaped like
+/// the multi-tenant flow sets `cxl-ctl` re-solves during knob probes:
+/// six resource-disjoint components of four contending flows each.
+pub fn probe_system() -> (MemSystem, Vec<FlowSpec>) {
+    let sys = MemSystem::new(&Topology::paper_testbed(SncMode::Snc4));
+    let nodes = [0usize, 1, 2, 3, 8, 9];
+    let flows = (0..24)
+        .map(|i| {
+            FlowSpec::new(
+                SocketId(0),
+                NodeId(nodes[i % nodes.len()]),
+                AccessMix::ratio(2, 1),
+                10.0 + i as f64,
+            )
+        })
+        .collect();
+    (sys, flows)
+}
+
+/// Runs `probes` single-knob perturbation solves and returns a
+/// value-bearing accumulator (so the work can't be optimized away).
+///
+/// The knob values are quantized to a small grid, the way `cxl-ctl`
+/// probes quantized settings, and the process-wide caches persist
+/// across calls the way they persist across an experiment — so the
+/// loop exercises the production mix: full-key memo hits on revisited
+/// operating points, component replays plus one dirty re-converge on
+/// new ones. `incremental: true` uses the production `solve` path;
+/// `false` re-solves monolithically from scratch each time via
+/// `solve_reference`. Both paths are bit-identical in output —
+/// `crates/cxl-perf/tests/incremental_solve.rs` pins that — so the
+/// ratio is pure speed.
+pub fn solver_probe_slice(probes: usize, incremental: bool) -> f64 {
+    let (sys, mut flows) = probe_system();
+    let mut acc = 0.0;
+    for p in 0..probes {
+        let k = p % flows.len();
+        flows[k].offered_gbps = 10.0 + ((p * 13) % 40) as f64 * 0.25;
+        let result = if incremental {
+            sys.solve(&flows)
+        } else {
+            sys.solve_reference(&flows).expect("reference solve")
+        };
+        acc += result.flows[k].achieved_gbps;
+    }
+    acc
+}
+
+/// One Fig. 5 KV cell (Hot-Promote, YCSB-C) at reduced size: the
+/// KV-simulation slice of the trajectory, dominated by engine dispatch
+/// and tier-manager touches.
+pub fn fig5_slice(record_count: u64, ops: u64, warmup_ops: u64) -> f64 {
+    use cxl_core::experiments::keydb::{run_cell, Fig5Params};
+    let cell = run_cell(
+        cxl_core::CapacityConfig::HotPromote,
+        cxl_ycsb::Workload::C,
+        Fig5Params {
+            record_count,
+            ops,
+            warmup_ops,
+            seed: 42,
+        },
+    );
+    cell.throughput_ops
+}

@@ -1,0 +1,39 @@
+//! Keeps `benches/speed.rs` honest from the default `cargo test` tier:
+//! `cargo test` never executes `harness = false` bench targets, so
+//! these smoke runs exercise the same workload functions at tiny sizes
+//! — the benches can't rot into code that no CI path compiles *and*
+//! runs.
+
+use cxl_bench::speed;
+
+#[test]
+fn churn_workload_agrees_across_engines() {
+    // The legacy copy and the arena engine must execute the same
+    // events: same survivor count per wave, deterministic schedule.
+    let arena = speed::churn_arena(3, 200);
+    let legacy = speed::churn_legacy(3, 200);
+    assert_eq!(arena, legacy, "churn workload diverged across engines");
+    assert!(arena > 0, "churn executed nothing");
+    // 1-in-KEEP_EVERY survives each wave of 200, over 3 waves.
+    assert_eq!(arena, 30);
+}
+
+#[test]
+fn solver_probe_paths_agree() {
+    let incremental = speed::solver_probe_slice(6, true);
+    let reference = speed::solver_probe_slice(6, false);
+    assert_eq!(
+        incremental.to_bits(),
+        reference.to_bits(),
+        "incremental and reference probe loops must be bit-identical"
+    );
+}
+
+#[test]
+fn fig5_slice_produces_throughput() {
+    let tput = speed::fig5_slice(2_000, 1_000, 2_000);
+    assert!(
+        tput.is_finite() && tput > 0.0,
+        "fig5 slice throughput: {tput}"
+    );
+}

@@ -20,6 +20,7 @@
 //! path at its final utilization.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -219,16 +220,34 @@ pub struct SolveCacheStats {
     pub hits: u64,
     /// Solves computed by the water-filling solver.
     pub misses: u64,
+    /// Resource-disjoint components answered from the cache during
+    /// incremental re-solves of full-key misses.
+    pub component_hits: u64,
+    /// Resource-disjoint components the water-filling solver actually
+    /// re-converged during full-key misses.
+    pub component_misses: u64,
 }
 
 impl SolveCacheStats {
-    /// Fraction of solves answered from the cache (0.0 when none ran).
+    /// Fraction of solves answered whole from the cache (0.0 when none
+    /// ran).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of components reused during full-key misses (0.0 when
+    /// no multi-component solve missed).
+    pub fn component_hit_rate(&self) -> f64 {
+        let total = self.component_hits + self.component_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.component_hits as f64 / total as f64
         }
     }
 }
@@ -284,13 +303,152 @@ struct SolveKey {
 /// lookups deterministic).
 const SOLVE_CACHE_CAP: usize = 1 << 16;
 
+/// Multiply-rotate hasher (the rustc-hash construction) for the memo
+/// caches. Keys are many-field structs — SipHash's per-write overhead
+/// dominated solve misses — and the caches are internal (fixed key
+/// shapes, no untrusted input), so hash-flooding resistance buys
+/// nothing here.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits while the
+        // table indexes by the low ones; fold them back down so
+        // near-identical keys (probe sweeps differ in one f64) don't
+        // cluster into long probe chains.
+        let h = self.hash.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^ (h >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+type MemoMap<K, V> = HashMap<K, V, FxBuild>;
+
 static SOLVE_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 static SOLVE_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static COMPONENT_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static COMPONENT_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
-fn solve_cache() -> &'static std::sync::Mutex<HashMap<SolveKey, SolveResult>> {
-    static CACHE: std::sync::OnceLock<std::sync::Mutex<HashMap<SolveKey, SolveResult>>> =
+fn solve_cache() -> &'static std::sync::Mutex<MemoMap<SolveKey, Arc<SolveResult>>> {
+    static CACHE: std::sync::OnceLock<std::sync::Mutex<MemoMap<SolveKey, Arc<SolveResult>>>> =
         std::sync::OnceLock::new();
-    CACHE.get_or_init(|| std::sync::Mutex::new(HashMap::new()))
+    CACHE.get_or_init(|| std::sync::Mutex::new(MemoMap::default()))
+}
+
+/// Key of the path-set memo: the flow keys with offered rates dropped —
+/// a flow's route and coefficients depend only on its endpoints and
+/// mix, so knob probes that perturb offered rates replay their paths.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PathSetKey {
+    fingerprint: u64,
+    flows: Vec<(usize, usize, u64, bool, bool)>,
+}
+
+impl PathSetKey {
+    fn of(fingerprint: u64, keys: &[FlowKey]) -> Self {
+        PathSetKey {
+            fingerprint,
+            flows: keys
+                .iter()
+                .map(|k| {
+                    (
+                        k.from,
+                        k.node,
+                        k.read_fraction,
+                        k.nt_writes,
+                        k.random_pattern,
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Process-wide memo of constructed path sets. Only successful
+/// constructions are stored; offline-node errors are recomputed (they
+/// fail before any segment work). Uses the same clear-and-continue
+/// poison policy as the solve cache, without its own counter — the two
+/// locks are only held across pure construction.
+fn path_cache() -> &'static std::sync::Mutex<MemoMap<PathSetKey, Arc<Vec<Path>>>> {
+    static CACHE: std::sync::OnceLock<std::sync::Mutex<MemoMap<PathSetKey, Arc<Vec<Path>>>>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| std::sync::Mutex::new(MemoMap::default()))
+}
+
+fn lock_path_cache() -> std::sync::MutexGuard<'static, MemoMap<PathSetKey, Arc<Vec<Path>>>> {
+    let cache = path_cache();
+    match cache.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            cache.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        }
+    }
+}
+
+/// Locks the solve cache, recovering from poisoning.
+///
+/// A panic in one experiment cell while it holds this lock must not
+/// cascade `PoisonError` panics into every unrelated cell the parallel
+/// runner is driving. The cache is a pure memo — dropping its entries
+/// is always safe — so recovery clears the poison bit plus the stored
+/// entries and keeps serving. Occurrences are counted as the wall-class
+/// metric `perf/solve_cache_poison_recoveries` (wall because whether a
+/// panic lands while the lock is held depends on scheduling).
+fn lock_solve_cache() -> std::sync::MutexGuard<'static, MemoMap<SolveKey, Arc<SolveResult>>> {
+    let cache = solve_cache();
+    match cache.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            cache.clear_poison();
+            cxl_obs::wall_counter_add("perf/solve_cache_poison_recoveries", 1);
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        }
+    }
 }
 
 /// Snapshot of the process-wide [`MemSystem::solve`] cache counters.
@@ -298,16 +456,21 @@ pub fn solve_cache_stats() -> SolveCacheStats {
     SolveCacheStats {
         hits: SOLVE_HITS.load(std::sync::atomic::Ordering::Relaxed),
         misses: SOLVE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+        component_hits: COMPONENT_HITS.load(std::sync::atomic::Ordering::Relaxed),
+        component_misses: COMPONENT_MISSES.load(std::sync::atomic::Ordering::Relaxed),
     }
 }
 
-/// Clears the solve cache and zeroes its counters (for measurements and
-/// tests that need a cold start).
+/// Clears the solve and path caches and zeroes the counters (for
+/// measurements and tests that need a cold start).
 pub fn solve_cache_reset() {
-    let mut cache = solve_cache().lock().expect("solve cache poisoned");
+    lock_path_cache().clear();
+    let mut cache = lock_solve_cache();
     cache.clear();
     SOLVE_HITS.store(0, std::sync::atomic::Ordering::Relaxed);
     SOLVE_MISSES.store(0, std::sync::atomic::Ordering::Relaxed);
+    COMPONENT_HITS.store(0, std::sync::atomic::Ordering::Relaxed);
+    COMPONENT_MISSES.store(0, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// A segment of a flow's path: a resource plus the bytes it carries per
@@ -331,11 +494,11 @@ struct Path {
 pub struct MemSystem {
     nodes: Vec<NumaNode>,
     resources: Vec<Resource>,
-    index: HashMap<ResourceKind, usize>,
+    index: MemoMap<ResourceKind, usize>,
     /// Extra idle latency of a remote CXL access beyond the local one.
     cxl_remote_extra_ns: f64,
     /// Per-CXL-node device parameters (controller latency, efficiencies).
-    cxl_params: HashMap<NodeId, CxlNodeParams>,
+    cxl_params: MemoMap<NodeId, CxlNodeParams>,
     sockets: Vec<SocketId>,
     /// Structural fingerprint keying the process-wide solve cache:
     /// systems built from identical topologies and tunings share cache
@@ -386,8 +549,8 @@ impl MemSystem {
         );
         let nodes = topo.nodes();
         let mut resources = Vec::new();
-        let mut index = HashMap::new();
-        let mut cxl_params = HashMap::new();
+        let mut index = MemoMap::default();
+        let mut cxl_params = MemoMap::default();
 
         let mut add = |kind: ResourceKind, cap: f64, queue: QueueModel| {
             let id = resources.len();
@@ -735,25 +898,151 @@ impl MemSystem {
             fingerprint: self.fingerprint,
             flows: flows.iter().map(FlowKey::of).collect(),
         };
-        if let Some(hit) = solve_cache()
-            .lock()
-            .expect("solve cache poisoned")
-            .get(&key)
-        {
+        if let Some(hit) = lock_solve_cache().get(&key) {
             SOLVE_HITS.fetch_add(1, Ordering::Relaxed);
             // Wall class: two workers racing on the same cold key can
             // both miss, so the hit/miss split is schedule-dependent.
             cxl_obs::wall_counter_add("perf/solve_cache_hits", 1);
-            return Ok(hit.clone());
+            return Ok(SolveResult::clone(hit));
         }
-        let result = self.solve_internal(flows)?.0;
+        let result = Arc::new(self.solve_incremental(flows, &key.flows)?);
         SOLVE_MISSES.fetch_add(1, Ordering::Relaxed);
         cxl_obs::wall_counter_add("perf/solve_cache_misses", 1);
-        let mut cache = solve_cache().lock().expect("solve cache poisoned");
+        let mut cache = lock_solve_cache();
         if cache.len() < SOLVE_CACHE_CAP {
             cache.insert(key, result.clone());
         }
-        Ok(result)
+        drop(cache);
+        Ok(Arc::try_unwrap(result).unwrap_or_else(|a| SolveResult::clone(&a)))
+    }
+
+    /// Incremental re-solve of a full-key miss.
+    ///
+    /// Flows are partitioned into connected components of the "shares a
+    /// resource" relation; each component is an independent max-min
+    /// water-filling problem (no step in one component can saturate a
+    /// resource of another), so the solver converges each component
+    /// separately and memoizes it under its own cache key. A later
+    /// solve that perturbs one flow — a `cxl-ctl` knob probe, a single
+    /// phase shifting its traffic — re-converges only the dirtied
+    /// component and replays every clean component from the cache.
+    ///
+    /// The assembled result is a pure function of the flow set (cache
+    /// state can only change *when* a component was converged, never
+    /// the value it converged to), which preserves the bit-identical
+    /// serial/parallel guarantee of the experiment runner.
+    fn solve_incremental(
+        &self,
+        flows: &[FlowSpec],
+        keys: &[FlowKey],
+    ) -> Result<SolveResult, PerfError> {
+        use std::sync::atomic::Ordering;
+        if flows.len() <= 1 {
+            return Ok(self.solve_internal(flows)?.0);
+        }
+        // Paths depend on endpoints and mix, not offered rates, so the
+        // knob-probe pattern (one rate moves per solve) replays the
+        // whole path set from the memo.
+        let path_key = PathSetKey::of(self.fingerprint, keys);
+        let cached_paths = lock_path_cache().get(&path_key).cloned();
+        let paths: Arc<Vec<Path>> = match cached_paths {
+            Some(p) => p,
+            None => {
+                let built: Arc<Vec<Path>> = Arc::new(
+                    flows
+                        .iter()
+                        .map(|f| self.path(f.from, f.node, f.mix))
+                        .collect::<Result<_, _>>()?,
+                );
+                let mut cache = lock_path_cache();
+                if cache.len() < SOLVE_CACHE_CAP {
+                    cache.insert(path_key, built.clone());
+                }
+                built
+            }
+        };
+
+        // Union-find over flow indices, joined through shared resources
+        // (`owner[res]` = first flow seen crossing resource `res`).
+        let mut parent: Vec<usize> = (0..flows.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut owner: Vec<usize> = vec![usize::MAX; self.resources.len()];
+        for (i, p) in paths.iter().enumerate() {
+            for s in &p.segments {
+                if owner[s.res] == usize::MAX {
+                    owner[s.res] = i;
+                } else {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, owner[s.res]));
+                    parent[a] = b;
+                }
+            }
+        }
+
+        // Components in order of their first member flow.
+        let mut comp_of_root = vec![usize::MAX; flows.len()];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for i in 0..flows.len() {
+            let root = find(&mut parent, i);
+            if comp_of_root[root] == usize::MAX {
+                comp_of_root[root] = components.len();
+                components.push(Vec::new());
+            }
+            components[comp_of_root[root]].push(i);
+        }
+        if components.len() == 1 {
+            return Ok(self.solve_with_paths(flows, &paths)?.0);
+        }
+
+        let mut outcomes: Vec<Option<FlowOutcome>> = vec![None; flows.len()];
+        let mut utilization: Vec<(usize, (ResourceKind, f64))> = Vec::new();
+        for members in &components {
+            let sub_key = SolveKey {
+                fingerprint: self.fingerprint,
+                flows: members.iter().map(|&i| keys[i]).collect(),
+            };
+            let cached = lock_solve_cache().get(&sub_key).cloned();
+            let sub_result: Arc<SolveResult> = match cached {
+                Some(hit) => {
+                    COMPONENT_HITS.fetch_add(1, Ordering::Relaxed);
+                    cxl_obs::wall_counter_add("perf/solve_component_hits", 1);
+                    hit
+                }
+                None => {
+                    let sub_flows: Vec<FlowSpec> = members.iter().map(|&i| flows[i]).collect();
+                    let sub_paths: Vec<Path> = members.iter().map(|&i| paths[i].clone()).collect();
+                    let r = Arc::new(self.solve_with_paths(&sub_flows, &sub_paths)?.0);
+                    COMPONENT_MISSES.fetch_add(1, Ordering::Relaxed);
+                    cxl_obs::wall_counter_add("perf/solve_component_misses", 1);
+                    let mut cache = lock_solve_cache();
+                    if cache.len() < SOLVE_CACHE_CAP {
+                        cache.insert(sub_key, r.clone());
+                    }
+                    r
+                }
+            };
+            for (&i, o) in members.iter().zip(sub_result.flows.iter()) {
+                outcomes[i] = Some(*o);
+            }
+            for &(kind, u) in &sub_result.utilization {
+                utilization.push((self.index[&kind], (kind, u)));
+            }
+        }
+        // Each used resource belongs to exactly one component; restore
+        // the monolithic solver's resource-index emission order.
+        utilization.sort_by_key(|&(idx, _)| idx);
+        Ok(SolveResult {
+            flows: outcomes
+                .into_iter()
+                .map(|o| o.expect("every flow belongs to exactly one component"))
+                .collect(),
+            utilization: utilization.into_iter().map(|(_, ku)| ku).collect(),
+        })
     }
 
     #[allow(clippy::type_complexity)] // Internal plumbing shared by solve/breakdown.
@@ -765,58 +1054,102 @@ impl MemSystem {
             .iter()
             .map(|f| self.path(f.from, f.node, f.mix))
             .collect::<Result<_, _>>()?;
+        let (result, used, write_used) = self.solve_with_paths(flows, &paths)?;
+        Ok((result, used, write_used, paths))
+    }
 
+    /// The water-filling core, over already-constructed paths.
+    ///
+    /// The solver computes, per iteration, the *absolute* scale at
+    /// which each resource saturates — `σ_res = (cap − frozen) /
+    /// active-demand` — freezes the flows crossing the minimum-σ
+    /// resource at exactly that σ, and repeats. Every quantity feeding
+    /// a flow's final scale (frozen-usage accumulation order, active
+    /// demand sums, σ comparisons) involves only flows of the same
+    /// connected resource-sharing component, in flow-index order, so
+    /// the result is **partition-invariant**: solving a component alone
+    /// produces bit-identical scales to solving it inside a larger
+    /// disjoint set. [`MemSystem::try_solve`]'s incremental per-
+    /// component re-solve rests on this invariant.
+    ///
+    /// Per-resource demands are accumulated in one pass over the active
+    /// flows (flow order, segments in path order) rather than one scan
+    /// per resource: `O(active × segments + resources)` per iteration.
+    #[allow(clippy::type_complexity)] // Internal plumbing shared by solve/breakdown.
+    fn solve_with_paths(
+        &self,
+        flows: &[FlowSpec],
+        paths: &[Path],
+    ) -> Result<(SolveResult, Vec<f64>, Vec<f64>), PerfError> {
         let nres = self.resources.len();
-        let mut used = vec![0.0f64; nres]; // Payload-coef bytes consumed.
-        let mut write_used = vec![0.0f64; nres];
+        let mut frozen = vec![0.0f64; nres]; // Usage pinned by frozen flows.
         let mut scale = vec![0.0f64; flows.len()];
         let mut active: Vec<usize> = (0..flows.len())
             .filter(|&i| flows[i].offered_gbps > 0.0)
             .collect();
 
-        // Water-filling: grow the common scale of active flows until a
-        // resource saturates; freeze the flows crossing it; repeat.
+        let crosses = |i: usize, res: usize| paths[i].segments.iter().any(|s| s.res == res);
+
+        let mut demand = vec![0.0f64; nres];
         let mut iterations = 0u64;
         while !active.is_empty() {
             iterations += 1;
-            let common = scale[active[0]];
-            let mut max_step = 1.0 - common;
+            demand.iter_mut().for_each(|d| *d = 0.0);
+            for &i in &active {
+                for s in &paths[i].segments {
+                    demand[s.res] += flows[i].offered_gbps * s.coef;
+                }
+            }
+            // Saturation scale per resource; the binding one is the min.
+            let mut sigma_star = 1.0f64;
             let mut binding: Option<usize> = None;
             #[allow(clippy::needless_range_loop)] // Parallel arrays; index is the id.
             for res in 0..nres {
-                let demand: f64 = active
-                    .iter()
-                    .flat_map(|&i| paths[i].segments.iter().map(move |s| (i, s)))
-                    .filter(|(_, s)| s.res == res)
-                    .map(|(i, s)| flows[i].offered_gbps * s.coef)
-                    .sum();
-                if demand <= 0.0 {
+                if demand[res] <= 0.0 {
                     continue;
                 }
-                let residual = (self.resources[res].cap_gbps - used[res]).max(0.0);
-                let step = residual / demand;
-                if step < max_step {
-                    max_step = step;
+                let sigma = (self.resources[res].cap_gbps - frozen[res]).max(0.0) / demand[res];
+                if sigma < sigma_star {
+                    sigma_star = sigma;
                     binding = Some(res);
                 }
             }
 
-            // Apply the step to every active flow.
-            for &i in &active {
-                scale[i] += max_step;
-                for s in &paths[i].segments {
-                    let add = flows[i].offered_gbps * max_step * s.coef;
-                    used[s.res] += add;
-                    write_used[s.res] += add * s.write_share;
+            match binding {
+                None => {
+                    // No resource binds below 1.0: everyone left
+                    // reaches their offered rate.
+                    for &i in &active {
+                        scale[i] = 1.0;
+                    }
+                    break;
+                }
+                Some(res) => {
+                    // Freeze flows crossing the binding resource at σ*,
+                    // pinning their usage (flow-index order).
+                    for &i in &active {
+                        if crosses(i, res) {
+                            scale[i] = sigma_star;
+                            for s in &paths[i].segments {
+                                frozen[s.res] += flows[i].offered_gbps * sigma_star * s.coef;
+                            }
+                        }
+                    }
+                    active.retain(|&i| !crosses(i, res));
                 }
             }
+        }
 
-            match binding {
-                None => break, // Everyone reached their offered rate.
-                Some(res) => {
-                    // Freeze flows crossing the saturated resource.
-                    active.retain(|&i| !paths[i].segments.iter().any(|s| s.res == res));
-                }
+        // Final usage: one pass over all flows in index order (again
+        // partition-invariant — a resource only ever sees its own
+        // component's flows).
+        let mut used = vec![0.0f64; nres];
+        let mut write_used = vec![0.0f64; nres];
+        for (i, f) in flows.iter().enumerate() {
+            for s in &paths[i].segments {
+                let add = f.offered_gbps * scale[i] * s.coef;
+                used[s.res] += add;
+                write_used[s.res] += add * s.write_share;
             }
         }
 
@@ -864,8 +1197,19 @@ impl MemSystem {
             },
             used,
             write_used,
-            paths,
         ))
+    }
+
+    /// Reference monolithic solve: the full flow set converged in one
+    /// water-filling run, bypassing both the memo cache and the
+    /// component decomposition of [`MemSystem::try_solve`].
+    ///
+    /// Because the solver's absolute-scale formulation is partition-
+    /// invariant (see the `solve_with_paths` internals), the
+    /// incremental path is **bit-identical** to this reference; benches
+    /// measure the speed gap and differential tests pin the equality.
+    pub fn solve_reference(&self, flows: &[FlowSpec]) -> Result<SolveResult, PerfError> {
+        Ok(self.solve_internal(flows)?.0)
     }
 
     /// Per-resource latency contributions of one flow at the solved
@@ -1352,6 +1696,40 @@ mod tests {
         assert!(sys
             .try_solve(&[FlowSpec::new(s0(), NodeId(99), mix, 1.0)])
             .is_err());
+    }
+
+    #[test]
+    fn poisoned_solve_cache_recovers_and_counts() {
+        // A panic while holding the cache lock (here: a sacrificial
+        // thread) must not cascade into every later solve. The next
+        // lock clears the poison, drops the entries, and keeps going.
+        let reg = std::sync::Arc::new(cxl_obs::Registry::new());
+        let m = sys();
+        let f = FlowSpec::new(s0(), dram0(), AccessMix::read_only(), 10.0);
+        let clean = m.solve(std::slice::from_ref(&f));
+
+        let _ = std::thread::spawn(|| {
+            let _guard = solve_cache().lock().unwrap();
+            panic!("poisoning the solve cache on purpose");
+        })
+        .join();
+        assert!(solve_cache().is_poisoned(), "setup failed to poison");
+
+        let guard = cxl_obs::scope(reg.clone());
+        let after = m.solve(std::slice::from_ref(&f));
+        drop(guard);
+        assert_eq!(
+            clean.flows[0].achieved_gbps.to_bits(),
+            after.flows[0].achieved_gbps.to_bits(),
+            "recovered cache must not change results"
+        );
+        assert!(!solve_cache().is_poisoned(), "poison bit must clear");
+        assert!(
+            reg.counter("perf/solve_cache_poison_recoveries")
+                .unwrap_or(0)
+                >= 1,
+            "recovery must be observable"
+        );
     }
 
     #[test]

@@ -1,20 +1,62 @@
-//! The event loop: a time-ordered heap of boxed event closures.
+//! The event loop: a time-ordered heap over an arena of event slots.
+//!
+//! # Storage design
+//!
+//! Event closures live in a slab (`slots`) indexed by the heap entries;
+//! a heap entry is `(time, seq, slot)` where `seq` is the FIFO
+//! tie-break and `slot` the arena index. This replaces the former
+//! `BinaryHeap<(SimTime, u64)>` + side `HashMap<(SimTime, u64),
+//! Scheduled>` + `HashSet<EventId>` design: dispatch is an array index
+//! instead of two sip-hashed map operations, the common
+//! execute-then-reschedule path reuses the just-freed slot without
+//! growing the arena, and cancellation tombstones the slot in place —
+//! dropping the closure immediately and decrementing the live-event
+//! count — so the old design's stale-cancel leak (and the `is_idle`
+//! count-matching bug it caused) cannot be expressed.
+//!
+//! Slot reuse is guarded by a per-slot generation: an [`EventId`] packs
+//! `(slot, generation)`, and a cancel whose generation no longer
+//! matches the slot's is the documented no-op, never a hit on an
+//! unrelated event that happens to reuse the slot.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::SimTime;
 
 /// Handle to a scheduled event, usable for cancellation.
+///
+/// Packs the arena slot index and the slot's generation at scheduling
+/// time; it is engine-specific and becomes stale (a cancel no-op) once
+/// the event executes or is cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
+impl EventId {
+    fn pack(slot: u32, gen: u32) -> Self {
+        EventId(((slot as u64) << 32) | gen as u64)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 >> 32) as usize
+    }
+
+    fn gen(self) -> u32 {
+        self.0 as u32
+    }
+}
+
 type EventFn<S> = Box<dyn FnOnce(&mut Engine<S>)>;
 
-struct Scheduled<S> {
-    id: EventId,
-    f: EventFn<S>,
+/// One arena slot: a generation guard plus the event closure.
+///
+/// `f` is `Some` while the event is live; a cancelled event keeps its
+/// heap entry (a *tombstone*) but its closure is dropped eagerly, so
+/// long-lead cancelled timers do not hold captured state for the rest
+/// of the run.
+struct Slot<S> {
+    gen: u32,
+    f: Option<EventFn<S>>,
 }
 
 /// A deterministic discrete-event engine over user state `S`.
@@ -25,9 +67,11 @@ struct Scheduled<S> {
 pub struct Engine<S> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
-    events: std::collections::HashMap<(SimTime, u64), Scheduled<S>>,
-    cancelled: HashSet<EventId>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    slots: Vec<Slot<S>>,
+    free: Vec<u32>,
+    /// Scheduled and neither executed nor cancelled.
+    live: usize,
     state: S,
     executed: u64,
 }
@@ -39,8 +83,9 @@ impl<S> Engine<S> {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            events: std::collections::HashMap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             state,
             executed: 0,
         }
@@ -54,6 +99,12 @@ impl<S> Engine<S> {
     /// Number of events executed so far.
     pub fn executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Number of live pending events (scheduled, not yet executed, not
+    /// cancelled). Cancelled-but-unreaped tombstones are excluded.
+    pub fn live_events(&self) -> usize {
+        self.live
     }
 
     /// Shared access to the user state.
@@ -86,12 +137,27 @@ impl<S> Engine<S> {
             "cannot schedule into the past: {at} < {}",
             self.now
         );
-        let id = EventId(self.seq);
-        let key = (at, self.seq);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                #[cfg(feature = "detailed-stats")]
+                cxl_obs::counter_add("sim/slots_reused", 1);
+                s
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, f: None });
+                debug_assert!(self.slots.len() <= u32::MAX as usize, "arena overflow");
+                #[cfg(feature = "detailed-stats")]
+                cxl_obs::counter_max("sim/arena_slots", self.slots.len() as u64);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let id = EventId::pack(slot, self.slots[slot as usize].gen);
+        self.slots[slot as usize].f = Some(Box::new(f));
+        self.heap.push(Reverse((at, self.seq, slot)));
         self.seq += 1;
-        self.heap.push(Reverse(key));
-        self.events.insert(key, Scheduled { id, f: Box::new(f) });
-        cxl_obs::counter_max("sim/heap_depth_max", self.heap.len() as u64);
+        self.live += 1;
+        // True live depth: tombstones of cancelled events don't count.
+        cxl_obs::counter_max("sim/heap_depth_max", self.live as u64);
         id
     }
 
@@ -129,55 +195,116 @@ impl<S> Engine<S> {
         self.schedule_after(period, move |e| tick(e, period, f));
     }
 
-    /// Cancels a scheduled event. Cancelling an already-executed or
-    /// unknown event is a no-op.
+    /// Cancels a scheduled event, dropping its closure immediately.
+    /// Cancelling an already-executed, already-cancelled, or unknown
+    /// event is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        let si = id.slot();
+        if let Some(slot) = self.slots.get_mut(si) {
+            if slot.gen == id.gen() && slot.f.is_some() {
+                slot.f = None; // Tombstone; the heap entry reaps lazily.
+                self.live -= 1;
+                cxl_obs::counter_add("sim/events_cancelled", 1);
+                self.maybe_compact();
+            }
+        }
     }
 
-    /// Executes the next event, advancing time. Returns `false` when the
-    /// queue is empty.
-    pub fn step(&mut self) -> bool {
-        while let Some(Reverse(key)) = self.heap.pop() {
-            let ev = self
-                .events
-                .remove(&key)
-                .expect("heap key without event entry");
-            if self.cancelled.remove(&ev.id) {
-                cxl_obs::counter_add("sim/events_cancelled", 1);
+    /// Rebuilds the heap without tombstones once they outnumber live
+    /// events. An O(len) filter + heapify here replaces O(len · log
+    /// len) sift-downs of lazy reaping, and since each compaction
+    /// removes at least half the heap, the cost amortizes to O(1) per
+    /// cancellation. Live events keep their `(time, seq, slot)` keys,
+    /// so the pop order — and therefore execution order — is untouched.
+    fn maybe_compact(&mut self) {
+        const MIN_HEAP: usize = 16;
+        if self.heap.len() < MIN_HEAP || self.live * 2 >= self.heap.len() {
+            return;
+        }
+        let slots = &mut self.slots;
+        let free = &mut self.free;
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|&Reverse((_, _, slot))| {
+            let si = slot as usize;
+            if slots[si].f.is_some() {
+                true
+            } else {
+                slots[si].gen = slots[si].gen.wrapping_add(1);
+                free.push(slot);
+                false
+            }
+        });
+        self.heap = BinaryHeap::from(entries);
+        #[cfg(feature = "detailed-stats")]
+        cxl_obs::counter_add("sim/heap_compactions", 1);
+    }
+
+    /// Returns the slot to the free list, invalidating outstanding ids.
+    fn free_slot(&mut self, si: usize) {
+        self.slots[si].gen = self.slots[si].gen.wrapping_add(1);
+        self.free.push(si as u32);
+    }
+
+    /// Executes the next live event with timestamp `<= until` (no bound
+    /// when `None`), advancing time. Tombstones at the heap head are
+    /// reaped regardless of their timestamp, but never count as
+    /// execution and never let a live event beyond the boundary run.
+    fn step_bounded(&mut self, until: Option<SimTime>) -> bool {
+        while let Some(&Reverse((t, _, slot))) = self.heap.peek() {
+            let si = slot as usize;
+            if self.slots[si].f.is_none() {
+                // Cancelled: reap the tombstone and keep looking.
+                self.heap.pop();
+                self.free_slot(si);
+                #[cfg(feature = "detailed-stats")]
+                cxl_obs::counter_add("sim/tombstones_reaped", 1);
                 continue;
             }
-            self.now = key.0;
+            if let Some(limit) = until {
+                if t > limit {
+                    return false;
+                }
+            }
+            self.heap.pop();
+            let f = self.slots[si].f.take().expect("live slot has a closure");
+            // Free before dispatch: a reschedule inside `f` reuses this
+            // slot without growing the arena.
+            self.free_slot(si);
+            self.live -= 1;
+            self.now = t;
             self.executed += 1;
             cxl_obs::counter_add("sim/events_executed", 1);
-            (ev.f)(self);
+            f(self);
             return true;
         }
         false
     }
 
+    /// Executes the next event, advancing time. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.step_bounded(None)
+    }
+
     /// Runs until the queue drains.
     pub fn run(&mut self) {
-        while self.step() {}
+        while self.step_bounded(None) {}
     }
 
     /// Runs events with timestamps `<= until`, then sets the clock to
-    /// `until` (if it is later than the last event).
+    /// `until` (if it is later than the last event). Cancelled events
+    /// before the boundary are skipped without ever letting a live
+    /// event *beyond* the boundary run.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(&Reverse((t, _))) = self.heap.peek() {
-            if t > until {
-                break;
-            }
-            self.step();
-        }
+        while self.step_bounded(Some(until)) {}
         if self.now < until {
             self.now = until;
         }
     }
 
-    /// True when no events remain.
+    /// True when no live events remain (tombstones don't count).
     pub fn is_idle(&self) -> bool {
-        self.heap.len() == self.cancelled.len()
+        self.live == 0
     }
 }
 
@@ -223,6 +350,23 @@ mod tests {
     }
 
     #[test]
+    fn reschedule_reuses_the_arena_slot() {
+        // The hot self-rescheduling pattern must not grow the arena:
+        // one live event at a time needs exactly one slot.
+        let mut e: Engine<u64> = Engine::new(0);
+        fn tick(e: &mut Engine<u64>) {
+            *e.state_mut() += 1;
+            if *e.state() < 100 {
+                e.schedule_after(SimTime::from_ns(10), tick);
+            }
+        }
+        e.schedule_after(SimTime::from_ns(10), tick);
+        e.run();
+        assert_eq!(*e.state(), 100);
+        assert_eq!(e.slots.len(), 1, "self-reschedule must reuse its slot");
+    }
+
+    #[test]
     fn schedule_every_repeats_until_false() {
         let mut e: Engine<u32> = Engine::new(0);
         e.schedule_every(SimTime::from_ns(10), |e| {
@@ -253,6 +397,24 @@ mod tests {
     }
 
     #[test]
+    fn cancel_drops_the_closure_immediately() {
+        use std::rc::Rc;
+        let token = Rc::new(());
+        let captured = token.clone();
+        let mut e: Engine<u32> = Engine::new(0);
+        let id = e.schedule_after(SimTime::from_ns(1_000_000), move |_| {
+            let _keep = &captured;
+        });
+        assert_eq!(Rc::strong_count(&token), 2);
+        e.cancel(id);
+        // The closure (and its captures) must be gone at cancel time,
+        // not when the clock eventually reaches the tombstone.
+        assert_eq!(Rc::strong_count(&token), 1);
+        e.run();
+        assert_eq!(e.executed(), 0);
+    }
+
+    #[test]
     fn run_until_stops_and_advances_clock() {
         let mut e: Engine<u32> = Engine::new(0);
         e.schedule_at(SimTime::from_ns(10), |e| *e.state_mut() += 1);
@@ -271,6 +433,112 @@ mod tests {
         e.schedule_at(SimTime::from_ns(10), |e| *e.state_mut() += 1);
         e.run_until(SimTime::from_ns(10));
         assert_eq!(*e.state(), 1);
+    }
+
+    #[test]
+    fn run_until_does_not_overrun_past_cancelled_head() {
+        // Regression: with a cancelled event at t=10 at the heap head,
+        // run_until(30) used to pop past it and execute the next live
+        // event even though that event's timestamp (50) was beyond the
+        // boundary.
+        let mut e: Engine<u32> = Engine::new(0);
+        let early = e.schedule_at(SimTime::from_ns(10), |e| *e.state_mut() += 1);
+        e.schedule_at(SimTime::from_ns(50), |e| *e.state_mut() += 100);
+        e.cancel(early);
+        e.run_until(SimTime::from_ns(30));
+        assert_eq!(*e.state(), 0, "no event may execute before t=50");
+        assert_eq!(e.executed(), 0);
+        assert_eq!(e.now(), SimTime::from_ns(30));
+        assert!(!e.is_idle(), "the t=50 event is still pending");
+        e.run();
+        assert_eq!(*e.state(), 100);
+        assert_eq!(e.now(), SimTime::from_ns(50));
+    }
+
+    #[test]
+    fn cancel_after_execute_does_not_corrupt_idle_accounting() {
+        // Regression: `is_idle` used to compare heap and cancel-set
+        // *counts*, so one stale cancel (of an already-executed id)
+        // plus one genuinely pending event reported idle.
+        let mut e: Engine<u32> = Engine::new(0);
+        let a = e.schedule_at(SimTime::from_ns(10), |e| *e.state_mut() += 1);
+        e.schedule_at(SimTime::from_ns(40), |e| *e.state_mut() += 100);
+        e.run_until(SimTime::from_ns(20));
+        assert_eq!(*e.state(), 1, "first event ran");
+        e.cancel(a); // Stale: a already executed. Documented no-op.
+        assert!(!e.is_idle(), "one live event remains");
+        assert_eq!(e.live_events(), 1);
+        e.run();
+        assert_eq!(*e.state(), 101);
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn stale_cancel_never_hits_a_slot_reuser() {
+        // The slot of an executed event is recycled; a stale id into
+        // that slot must not cancel the new tenant.
+        let mut e: Engine<u32> = Engine::new(0);
+        let old = e.schedule_at(SimTime::from_ns(10), |e| *e.state_mut() += 1);
+        e.run();
+        assert_eq!(*e.state(), 1);
+        e.schedule_at(SimTime::from_ns(20), |e| *e.state_mut() += 100);
+        e.cancel(old); // Generation mismatch: no-op.
+        e.run();
+        assert_eq!(*e.state(), 101, "reused slot's event must survive");
+    }
+
+    #[test]
+    fn double_cancel_is_a_noop() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let id = e.schedule_at(SimTime::from_ns(10), |e| *e.state_mut() += 1);
+        e.schedule_at(SimTime::from_ns(20), |e| *e.state_mut() += 100);
+        e.cancel(id);
+        e.cancel(id);
+        assert_eq!(e.live_events(), 1);
+        e.run();
+        assert_eq!(*e.state(), 100);
+    }
+
+    #[test]
+    fn heap_depth_metric_reports_live_events_not_tombstones() {
+        let reg = std::sync::Arc::new(cxl_obs::Registry::new());
+        let guard = cxl_obs::scope(reg.clone());
+        let mut e: Engine<u32> = Engine::new(0);
+        let a = e.schedule_at(SimTime::from_ns(10), |_| {});
+        let _b = e.schedule_at(SimTime::from_ns(20), |_| {});
+        let _c = e.schedule_at(SimTime::from_ns(30), |_| {});
+        e.cancel(a);
+        // Live is 2; a fourth schedule may not report depth 4.
+        e.schedule_at(SimTime::from_ns(40), |_| {});
+        drop(guard);
+        assert_eq!(reg.max("sim/heap_depth_max"), Some(3));
+        assert_eq!(reg.counter("sim/events_cancelled"), Some(1));
+    }
+
+    #[test]
+    fn mass_cancellation_compacts_without_changing_execution() {
+        // Cancel 97% of a large burst: compaction must kick in (heap
+        // shrinks below the tombstone count) while the survivors still
+        // run in exact time order.
+        let mut e: Engine<Vec<u64>> = Engine::new(Vec::new());
+        let ids: Vec<_> = (0..2_000u64)
+            .map(|i| e.schedule_at(SimTime::from_ns(10 + i), move |e| e.state_mut().push(i)))
+            .collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            if i % 32 != 0 {
+                e.cancel(id);
+            }
+        }
+        assert!(
+            e.heap.len() < 500,
+            "compaction should have reaped tombstones (heap: {})",
+            e.heap.len()
+        );
+        assert_eq!(e.live_events(), 63);
+        e.run();
+        let want: Vec<u64> = (0..2_000u64).filter(|i| i % 32 == 0).collect();
+        assert_eq!(e.state(), &want);
+        assert!(e.is_idle());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Diffs fresh `--metrics` exports against a committed sim-metrics golden.
+
+Usage:
+    ./target/release/fig5 --jobs 1 --metrics j1.json > /dev/null
+    ./target/release/fig5 --jobs 8 --metrics j8.json > /dev/null
+    python3 scripts/check_sim_goldens.py results/golden/fig5_sim_metrics.json j1.json j8.json
+
+The golden file is the bare `sim` section captured from the pre-arena
+engine (see EXPERIMENTS.md "Benchmarking"); each metrics argument is a
+full `cxl-obs/v1` export whose `sim` section must match it exactly.
+Matching the same golden at `--jobs 1` and `--jobs 8` pins both the
+engine-swap transparency and the worker-count invariance in one check.
+"""
+
+import json
+import sys
+
+
+def main(golden_path: str, metrics_paths: list[str]) -> int:
+    with open(golden_path) as f:
+        golden = json.load(f)
+    rc = 0
+    for path in metrics_paths:
+        with open(path) as f:
+            export = json.load(f)
+        assert export["schema"] == "cxl-obs/v1", export["schema"]
+        sim = export["sim"]
+        if sim == golden:
+            print(f"OK {path}: sim section matches {golden_path}")
+            continue
+        rc = 1
+        missing = sorted(set(golden) - set(sim))
+        extra = sorted(set(sim) - set(golden))
+        changed = sorted(k for k in set(golden) & set(sim) if golden[k] != sim[k])
+        print(f"FAIL {path}: sim section diverges from {golden_path}")
+        for label, keys in (("missing", missing), ("extra", extra), ("changed", changed)):
+            if keys:
+                print(f"  {label}: {', '.join(keys[:10])}" + (" ..." if len(keys) > 10 else ""))
+    return rc
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    sys.exit(main(sys.argv[1], sys.argv[2:]))

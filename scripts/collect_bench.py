@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Assembles the per-PR bench trajectory file from criterion output.
+
+Usage:
+    CRITERION_JSON=/tmp/bench.jsonl cargo bench -p cxl-bench --bench speed
+    python3 scripts/collect_bench.py /tmp/bench.jsonl results/BENCH_6.json
+
+Reads the JSON-lines records the criterion shim appends per benchmark
+(`{"id", "mean_ns", "iters"}`), keeps the last record per id (reruns
+overwrite), and derives the headline ratios:
+
+* `engine_churn_speedup` — legacy (pre-arena heap + side-map engine)
+  over arena mean time on the identical churn workload,
+* `solver_probe_speedup` — monolithic uncached reference over the
+  production incremental/cached path on the identical knob-probe loop.
+"""
+
+import json
+import sys
+
+
+def main(src: str, dst: str) -> int:
+    benches = {}
+    with open(src) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                rec = json.loads(line)
+                benches[rec["id"]] = rec
+
+    def mean(bid):
+        rec = benches.get(bid)
+        return rec["mean_ns"] if rec else None
+
+    def ratio(num, den):
+        a, b = mean(num), mean(den)
+        return round(a / b, 2) if a and b else None
+
+    out = {
+        "benches": {
+            bid: {"mean_ns": rec["mean_ns"], "iters": rec["iters"]}
+            for bid, rec in sorted(benches.items())
+        },
+        "derived": {
+            "engine_churn_speedup": ratio(
+                "speed/engine_churn_legacy", "speed/engine_churn_arena"
+            ),
+            "solver_probe_speedup": ratio(
+                "speed/solver_probes_reference", "speed/solver_probes_incremental"
+            ),
+        },
+    }
+    with open(dst, "w") as f:
+        json.dump(out, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {dst}: {out['derived']}")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    sys.exit(main(sys.argv[1], sys.argv[2]))

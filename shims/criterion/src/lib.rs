@@ -112,6 +112,32 @@ impl Bencher {
     }
 }
 
+/// Appends one JSON-lines record per finished benchmark to the file
+/// named by `CRITERION_JSON`, so a collector script can assemble the
+/// per-PR `BENCH_*.json` trajectory without parsing stdout.
+fn export(id: &str, mean_ns: f64, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.trim().is_empty() {
+        return;
+    }
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        // Bench ids are code literals; escape the one char that could
+        // break the framing.
+        let id = id.replace('"', "'");
+        let _ = writeln!(
+            f,
+            "{{\"id\":\"{id}\",\"mean_ns\":{mean_ns:.3},\"iters\":{iters}}}"
+        );
+    }
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F) {
     if test_mode() {
         let mut b = Bencher {
@@ -138,6 +164,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F) {
     };
     f(&mut b);
     let mean = b.elapsed.as_secs_f64() / iters as f64;
+    export(id, mean * 1e9, iters);
     println!(
         "bench {id:<48} {:>12.3} ms/iter ({iters} iters)",
         mean * 1e3
