@@ -36,6 +36,24 @@ fn bench_speed(c: &mut Criterion) {
         b.iter(|| black_box(speed::solver_probe_slice(64, false)))
     });
 
+    // YCSB op generation with a live obs registry: block-drawn vs
+    // per-op. Their ratio is the fig5-slice generator amortization.
+    g.bench_function("ycsb_gen_batched", |b| {
+        b.iter(|| black_box(speed::ycsb_gen_slice(100_000, true)))
+    });
+    g.bench_function("ycsb_gen_per_op", |b| {
+        b.iter(|| black_box(speed::ycsb_gen_slice(100_000, false)))
+    });
+
+    // Tier-manager touch hot path: touch_batch vs per-op touch over
+    // the identical access pattern (pinned equal by touch_props).
+    g.bench_function("tier_touch_batched", |b| {
+        b.iter(|| black_box(speed::tier_touch_slice(100_000, true)))
+    });
+    g.bench_function("tier_touch_per_op", |b| {
+        b.iter(|| black_box(speed::tier_touch_slice(100_000, false)))
+    });
+
     // KV macro slice: one reduced Fig. 5 cell (Hot-Promote, YCSB-C).
     g.bench_function("kv_fig5_slice", |b| {
         b.iter(|| black_box(speed::fig5_slice(10_000, 8_000, 20_000)))

@@ -233,6 +233,107 @@ pub fn solver_probe_slice(probes: usize, incremental: bool) -> f64 {
     acc
 }
 
+/// Generates `ops` YCSB-A operations with a live obs registry (the
+/// metrics-enabled production regime, where the per-op counter flush
+/// is the cost being amortized) and returns a key checksum. `batched:
+/// true` draws blocks of 1024 via `Generator::batch` — the block path
+/// the KV run loops use — `false` draws per-op; both produce the same
+/// op stream, so the ratio is pure generation overhead.
+pub fn ycsb_gen_slice(ops: usize, batched: bool) -> u64 {
+    use cxl_ycsb::{Generator, GeneratorConfig, Workload};
+    let registry = std::sync::Arc::new(cxl_obs::Registry::new());
+    let _scope = cxl_obs::scope(registry);
+    let mut g = Generator::new(
+        Workload::A,
+        GeneratorConfig {
+            record_count: 100_000,
+            value_size: 1024,
+            seed: 42,
+        },
+    );
+    let mut acc = 0u64;
+    if batched {
+        let mut remaining = ops;
+        while remaining > 0 {
+            let n = remaining.min(1024);
+            for op in g.batch(n) {
+                acc = acc.wrapping_add(op.key());
+            }
+            remaining -= n;
+        }
+    } else {
+        for _ in 0..ops {
+            acc = acc.wrapping_add(g.next_op().key());
+        }
+    }
+    acc
+}
+
+/// Drives the tier-manager touch hot path: `touches` accesses over a
+/// strided page pattern with periodic scan ticks, under hot-page
+/// selection (the Fig. 5 regime). `batched: true` goes through
+/// `TierManager::touch_batch` in 256-access blocks, `false` touches
+/// per-op; `tests/touch_props.rs` pins the two paths to identical
+/// outcomes, so the bench ratio isolates dispatch overhead. Returns a
+/// stats checksum so the work cannot be optimized away.
+pub fn tier_touch_slice(touches: usize, batched: bool) -> u64 {
+    use cxl_sim::SimTime;
+    use cxl_tier::{
+        AllocPolicy, HotPageConfig, MigrationMode, NumaBalancingConfig, Rw, TierConfig, TierManager,
+    };
+    const DRAM0: NodeId = NodeId(0);
+    const CXL0: NodeId = NodeId(2);
+    const PAGES: u64 = 4096;
+    const BLOCK: usize = 256;
+    let mut cfg = TierConfig::bind(vec![CXL0, DRAM0]);
+    cfg.policy = AllocPolicy::interleave(vec![DRAM0], vec![CXL0], 1, 3);
+    cfg.migration = MigrationMode::HotPageSelection(HotPageConfig {
+        balancing: NumaBalancingConfig {
+            scan_period: SimTime::from_ms(1),
+            scan_pages: 512,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    cfg.capacity_override = vec![
+        (DRAM0, 1024 * cfg.page_size),
+        (NodeId(1), 0),
+        (CXL0, PAGES * cfg.page_size),
+        (NodeId(3), 0),
+    ];
+    cfg.allow_ssd_spill = true;
+    let mut tm = TierManager::new(&Topology::paper_testbed(SncMode::Disabled), cfg);
+    let pages = tm.alloc_n(PAGES, SimTime::ZERO).expect("spill enabled");
+    let mut acc = 0u64;
+    for (step, chunk_base) in (0..touches).step_by(BLOCK).enumerate() {
+        let now = SimTime::from_ms(step as u64 + 1);
+        tm.tick(now);
+        let n = BLOCK.min(touches - chunk_base);
+        let batch: Vec<(cxl_tier::PageId, Rw, u64)> = (0..n)
+            .map(|i| {
+                let j = chunk_base + i;
+                // Strided hot set: 1/8 of touches hammer 64 pages.
+                let page = if j % 8 == 0 {
+                    pages[(j * 31) % 64]
+                } else {
+                    pages[(j * 131) % pages.len()]
+                };
+                (page, if j % 4 == 0 { Rw::Write } else { Rw::Read }, 4096)
+            })
+            .collect();
+        if batched {
+            for o in tm.touch_batch(&batch, now) {
+                acc = acc.wrapping_add(o.promoted as u64);
+            }
+        } else {
+            for &(p, rw, bytes) in &batch {
+                acc = acc.wrapping_add(tm.touch(p, rw, bytes, now).promoted as u64);
+            }
+        }
+    }
+    acc.wrapping_add(tm.stats().hint_faults)
+}
+
 /// One Fig. 5 KV cell (Hot-Promote, YCSB-C) at reduced size: the
 /// KV-simulation slice of the trajectory, dominated by engine dispatch
 /// and tier-manager touches.

@@ -30,6 +30,23 @@ fn solver_probe_paths_agree() {
 }
 
 #[test]
+fn ycsb_gen_paths_agree() {
+    // Batched and per-op generation draw the identical op stream, so
+    // the key checksums must match exactly.
+    let batched = speed::ycsb_gen_slice(5_000, true);
+    let per_op = speed::ycsb_gen_slice(5_000, false);
+    assert_eq!(batched, per_op, "generation paths diverged");
+}
+
+#[test]
+fn tier_touch_paths_agree() {
+    let batched = speed::tier_touch_slice(20_000, true);
+    let per_op = speed::tier_touch_slice(20_000, false);
+    assert_eq!(batched, per_op, "touch paths diverged");
+    assert!(batched > 0, "touch slice took no hint faults");
+}
+
+#[test]
 fn fig5_slice_produces_throughput() {
     let tput = speed::fig5_slice(2_000, 1_000, 2_000);
     assert!(

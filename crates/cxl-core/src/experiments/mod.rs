@@ -15,6 +15,7 @@
 //! | [`replication`] | Multi-seed mean ± std for any experiment metric |
 //! | [`faults`] | Graceful degradation: KeyDB across expander faults of rising severity |
 //! | [`pool`] | §7.1 projection: dynamic multi-host pooling vs static per-host provisioning |
+//! | [`fleet`] | ROADMAP item 2: multi-rack pooling over a rack/spine fabric with path-priced leases |
 //! | [`autotune`] | Online adaptive control (`cxl-ctl`) vs every static config on a phased trace |
 
 pub mod autotune;
@@ -23,6 +24,7 @@ pub mod colocation;
 pub mod cost;
 pub mod error;
 pub mod faults;
+pub mod fleet;
 pub mod keydb;
 pub mod latency;
 pub mod llm;

@@ -23,6 +23,24 @@ use cxl_tier::{
 use cxl_topology::{NodeId, Topology};
 use cxl_ycsb::{Generator, GeneratorConfig, Op, Workload};
 
+/// Ops pre-generated per block in the run loops. Blocks amortize the
+/// generator's per-op obs flush ([`Generator::batch`] tallies counters
+/// locally) without changing the op stream — generation order is
+/// independent of store state, so drawing ahead is observationally
+/// equivalent.
+const GEN_BLOCK: usize = 1024;
+
+/// Pulls the next op off `buf`, refilling it with a block when empty.
+/// `remaining` is the number of ops still owed including this one, so
+/// the final block never over-draws the generator.
+fn next_buffered_op(generator: &mut Generator, buf: &mut VecDeque<Op>, remaining: u64) -> Op {
+    if buf.is_empty() {
+        let n = (remaining as usize).min(GEN_BLOCK);
+        buf.extend(generator.batch(n));
+    }
+    buf.pop_front().expect("refilled with remaining >= 1")
+}
+
 /// CPU/memory cost profile of one KeyDB operation.
 ///
 /// The paper's two KeyDB experiments sit in different locality regimes:
@@ -620,9 +638,10 @@ impl KvStore {
         let mut ssd_hits = 0u64;
         let start = self.now;
         let mut arrival_s = start.as_secs_f64();
+        let mut op_buf = VecDeque::new();
 
         for i in 0..ops {
-            let op = generator.next_op();
+            let op = next_buffered_op(&mut generator, &mut op_buf, ops - i);
             arrival_s += interarrival.sample(&mut arrival_rng);
             let arrival = SimTime::from_secs_f64(arrival_s);
             // `self.now` is the tiering clock; keep it monotone. Epoch
@@ -686,9 +705,10 @@ impl KvStore {
         let mut read_latency = Histogram::new();
         let mut ssd_hits = 0u64;
         let start = self.now;
+        let mut op_buf = VecDeque::new();
 
         for i in 0..ops {
-            let op = generator.next_op();
+            let op = next_buffered_op(&mut generator, &mut op_buf, ops - i);
             let client = (i as usize) % clients.len();
             let arrival = clients[client].max(start);
             // Concurrent clients complete out of order, so one client's

@@ -1336,6 +1336,35 @@ mod tests {
     }
 
     #[test]
+    fn fabric_path_latency_feeds_the_solve_per_window() {
+        // A fleet host sees every reachable pool as its own node priced
+        // at that pool's fabric path latency — cross-rack windows pay
+        // the spine and both cables on top of the ToR hop, and the
+        // idle-latency solve must reproduce each path sum exactly.
+        let fabric = cxl_topology::Fabric::rack_spine(2, 4, 70.0, 90.0, 20.0);
+        let near = fabric.path_latency_ns("rack0/host0", "rack0/pool").unwrap();
+        let far = fabric.path_latency_ns("rack0/host0", "rack1/pool").unwrap();
+        let topo = Topology::fleet_host(
+            192,
+            &[
+                ("rack0/pool".to_string(), 256, near),
+                ("rack1/pool".to_string(), 256, far),
+            ],
+        );
+        let m = MemSystem::new(&topo);
+        let read = AccessMix::read_only();
+        let near_ns = m.idle_latency_ns(s0(), NodeId(1), read);
+        let far_ns = m.idle_latency_ns(s0(), NodeId(2), read);
+        assert!((far_ns - near_ns - (far - near)).abs() < 1e-9);
+        assert!(far_ns > near_ns, "cross-rack must idle strictly higher");
+        // The single-switch path through the fabric matches the
+        // historical scalar model bit-for-bit.
+        let scalar = MemSystem::new(&Topology::pooled_host(192, 256, 70.0));
+        let scalar_ns = scalar.idle_latency_ns(s0(), NodeId(1), read);
+        assert_eq!(near_ns.to_bits(), scalar_ns.to_bits());
+    }
+
+    #[test]
     fn cxl_latency_ratios_match_section_3_3() {
         let m = sys();
         let read = AccessMix::read_only();

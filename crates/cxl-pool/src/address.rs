@@ -245,6 +245,19 @@ mod tests {
     }
 
     #[test]
+    fn fragmentation_of_degenerate_spaces_is_zero() {
+        // Zero free slabs: the `1 − largest/free` denominator is 0 and
+        // the accessor must return 0.0, not NaN.
+        let mut s = PoolAddressSpace::new(4);
+        s.alloc(4, L1);
+        assert_eq!(s.free_slabs(), 0);
+        assert_eq!(s.fragmentation(), 0.0);
+        // All-free space is one run: also exactly 0.
+        s.release_all(L1);
+        assert_eq!(s.fragmentation(), 0.0);
+    }
+
+    #[test]
     fn fragmentation_metric_and_defrag() {
         let mut s = PoolAddressSpace::new(16);
         s.alloc(4, L1); // [0,4)

@@ -29,12 +29,14 @@
 
 pub mod address;
 pub mod demand;
+pub mod fleet;
 pub mod lease;
 pub mod manager;
 pub mod sim;
 
 pub use address::{Extent, PoolAddressSpace};
 pub use demand::{DemandConfig, DemandProcess};
+pub use fleet::{FleetConfig, FleetHost, FleetPlan, FleetReport, HostSpec, WorkloadClass};
 pub use lease::{HostId, Lease, LeaseId};
 pub use manager::{Grant, GrantOutcome, PoolManager, PoolStats, RequestResponse, RevocationNotice};
 pub use sim::{run, PoolSimConfig, PoolSimReport, DRAM_NODE, POOL_NODE};

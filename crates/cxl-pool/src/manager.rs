@@ -458,6 +458,24 @@ mod tests {
     }
 
     #[test]
+    fn mean_wait_of_zero_deferred_grants_is_zero() {
+        // Fresh stats: 0/0 must read as 0.0, not NaN.
+        assert_eq!(PoolStats::default().mean_wait_ns(), 0.0);
+        // And a manager that never queued anything reports the same.
+        let mut pm = PoolManager::new(10, 2, 1.0);
+        pm.request(H0, 2, t(0));
+        assert_eq!(pm.stats().deferred_grants, 0);
+        assert_eq!(pm.stats().mean_wait_ns(), 0.0);
+        // Nonzero path for contrast.
+        let s = PoolStats {
+            deferred_grants: 4,
+            total_wait_ns: 1000,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_wait_ns(), 250.0);
+    }
+
+    #[test]
     fn grants_until_full_then_queues() {
         let mut pm = PoolManager::new(10, 2, 1.0);
         let r = pm.request(H0, 6, t(0));

@@ -285,8 +285,18 @@ impl TierManager {
     /// Reports the current DRAM bandwidth utilization (0..1), the input
     /// to the §5.3 bandwidth-aware policy. Applications call this each
     /// epoch with the utilization the performance model observed.
+    /// Non-finite inputs (a NaN from a degenerate bandwidth ratio,
+    /// say 0/0 on an idle node) are treated as 0.0 — `f64::clamp`
+    /// propagates NaN, which would otherwise disable every watermark
+    /// comparison in the policy from here on.
     pub fn set_dram_bandwidth_util(&mut self, util: f64) {
-        self.dram_bw_util = util.clamp(0.0, 1.0);
+        self.dram_bw_util = if util.is_finite() {
+            util.clamp(0.0, 1.0)
+        } else if util == f64::INFINITY {
+            1.0
+        } else {
+            0.0
+        };
     }
 
     /// Last reported DRAM bandwidth utilization.
@@ -594,6 +604,51 @@ impl TierManager {
             }
         }
         outcome
+    }
+
+    /// Records a batch of accesses sharing one timestamp, returning one
+    /// [`AccessOutcome`] per access in order.
+    ///
+    /// Semantically identical to calling [`TierManager::touch`] per
+    /// access (the property tests in `tests/touch_props.rs` pin the
+    /// equivalence), but the common no-hint-fault case — every access
+    /// between NUMA balancing scans — skips the per-call migration-mode
+    /// dispatch and runs a tight epoch-record + recency-update loop,
+    /// which is what batched workload drivers (KV op blocks) want from
+    /// the hot path.
+    pub fn touch_batch(
+        &mut self,
+        accesses: &[(PageId, Rw, u64)],
+        now: SimTime,
+    ) -> Vec<AccessOutcome> {
+        let migration_active = self.cfg.migration.is_active();
+        accesses
+            .iter()
+            .map(|&(page, rw, bytes)| {
+                let idx = page.0 as usize;
+                debug_assert!(!self.pages[idx].freed, "touch of freed {page:?}");
+                if migration_active && self.pages[idx].hint_installed {
+                    // Hint fault pending: the full promotion machinery
+                    // runs, exactly as an unbatched touch would.
+                    return self.touch(page, rw, bytes, now);
+                }
+                // Fast path: mirror `touch` up to its early return.
+                let location = self.pages[idx].location;
+                match location {
+                    Location::Node(node) => self.epoch.record_access(node, bytes, rw.is_write()),
+                    Location::Ssd => self.epoch.record_ssd(bytes, rw.is_write()),
+                }
+                let meta = &mut self.pages[idx];
+                meta.last_access = now;
+                meta.referenced = true;
+                AccessOutcome {
+                    location,
+                    hint_fault: false,
+                    promoted: false,
+                    fault_cost: SimTime::ZERO,
+                }
+            })
+            .collect()
     }
 
     /// The hot-page-selection promotion path: a repeat fault within the
@@ -1499,6 +1554,37 @@ mod tests {
     fn trace_disabled_by_default() {
         let tm = TierManager::new(&topo(), TierConfig::bind(vec![DRAM0]));
         assert!(tm.trace().is_none());
+    }
+
+    #[test]
+    fn bandwidth_util_sanitizes_non_finite_input() {
+        let mut tm = TierManager::new(&topo(), TierConfig::bind(vec![DRAM0]));
+        tm.set_dram_bandwidth_util(0.5);
+        assert_eq!(tm.dram_bandwidth_util(), 0.5);
+        // A NaN ratio (0/0 from an idle interval) must not stick: every
+        // later watermark comparison against a NaN util is false, which
+        // would silently disable the §5.3 policy.
+        tm.set_dram_bandwidth_util(f64::NAN);
+        assert_eq!(tm.dram_bandwidth_util(), 0.0);
+        tm.set_dram_bandwidth_util(f64::INFINITY);
+        assert_eq!(tm.dram_bandwidth_util(), 1.0);
+        tm.set_dram_bandwidth_util(f64::NEG_INFINITY);
+        assert_eq!(tm.dram_bandwidth_util(), 0.0);
+        tm.set_dram_bandwidth_util(-3.0);
+        assert_eq!(tm.dram_bandwidth_util(), 0.0);
+        tm.set_dram_bandwidth_util(7.0);
+        assert_eq!(tm.dram_bandwidth_util(), 1.0);
+    }
+
+    #[test]
+    fn empty_manager_snapshot_has_finite_ratios() {
+        // Zero resident pages: top_tier_fraction's denominator is 0 and
+        // the accessor must return 0.0, not NaN.
+        let tm = TierManager::new(&topo(), TierConfig::bind(vec![DRAM0]));
+        let snap = tm.snapshot();
+        assert_eq!(snap.resident_pages(), 0);
+        assert_eq!(snap.top_tier_fraction, 0.0);
+        assert_eq!(snap.stats.promotion_rate(), 0.0);
     }
 
     #[test]

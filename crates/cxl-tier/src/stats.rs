@@ -3,7 +3,7 @@
 use serde::Serialize;
 
 /// Cumulative event counters for a [`crate::TierManager`].
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct TierStats {
     /// Pages allocated.
     pub allocated: u64,
@@ -90,7 +90,7 @@ mod tests {
 }
 
 /// Point-in-time view of a [`crate::TierManager`]'s placement state.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TierSnapshot {
     /// `(node id, used pages, capacity pages)` per NUMA node.
     pub nodes: Vec<(usize, u64, u64)>,

@@ -1,0 +1,94 @@
+//! Property tests for [`cxl_tier::TierManager::touch_batch`].
+//!
+//! The batched entry point exists so workload drivers can amortize
+//! per-access dispatch on the touch hot path, but it must be a pure
+//! performance change: for any access sequence, any chunking of that
+//! sequence into batches, and any interleaving of scan ticks, the
+//! batched and unbatched managers must produce identical
+//! [`cxl_tier::AccessOutcome`] streams, identical [`cxl_tier::TierStats`],
+//! and identical page placement.
+
+use cxl_sim::SimTime;
+use cxl_tier::{
+    AccessOutcome, AllocPolicy, HotPageConfig, MigrationMode, NumaBalancingConfig, Rw, TierConfig,
+    TierManager,
+};
+use cxl_topology::{NodeId, SncMode, Topology};
+use proptest::prelude::*;
+
+/// SNC-disabled paper testbed: 0,1 = DRAM sockets; 2,3 = CXL on s0.
+const DRAM0: NodeId = NodeId(0);
+const CXL0: NodeId = NodeId(2);
+const PAGE: u64 = 4096;
+
+/// A manager whose allocation policy lands most pages on the slow tier
+/// (so hint faults have promotions to drive) with a scanner aggressive
+/// enough that a short random sequence takes hint faults at all.
+fn manager(mode: u8, pages: u64) -> (TierManager, Vec<cxl_tier::PageId>) {
+    let balancing = NumaBalancingConfig {
+        scan_period: SimTime::from_ms(10),
+        scan_pages: 16,
+        hot_threshold: SimTime::from_ms(500),
+        ..Default::default()
+    };
+    let mut cfg = TierConfig::bind(vec![CXL0, DRAM0]);
+    cfg.policy = AllocPolicy::interleave(vec![DRAM0], vec![CXL0], 1, 3);
+    cfg.capacity_override = vec![
+        (DRAM0, 24 * PAGE),
+        (NodeId(1), 0),
+        (CXL0, 64 * PAGE),
+        (NodeId(3), 0),
+    ];
+    cfg.allow_ssd_spill = true;
+    cfg.migration = match mode % 3 {
+        0 => MigrationMode::NumaBalancing(balancing),
+        1 => MigrationMode::HotPageSelection(HotPageConfig {
+            balancing,
+            ..Default::default()
+        }),
+        _ => MigrationMode::None,
+    };
+    let mut tm = TierManager::new(&Topology::paper_testbed(SncMode::Disabled), cfg);
+    let ids = tm.alloc_n(pages, SimTime::ZERO).expect("spill enabled");
+    (tm, ids)
+}
+
+proptest! {
+    #[test]
+    fn batched_touch_equals_unbatched(
+        mode in 0u8..3,
+        pages in 4u64..48,
+        accesses in prop::collection::vec((0usize..48, any::<bool>(), 64u64..8192), 1..200),
+        chunk in 1usize..17,
+    ) {
+        let (mut a, ids_a) = manager(mode, pages);
+        let (mut b, ids_b) = manager(mode, pages);
+        prop_assert_eq!(&ids_a, &ids_b);
+
+        let mut out_a: Vec<AccessOutcome> = Vec::new();
+        let mut out_b: Vec<AccessOutcome> = Vec::new();
+        // Each chunk advances time and runs a scan tick first, so hint
+        // installation interleaves with accesses in both replicas.
+        for (step, window) in accesses.chunks(chunk).enumerate() {
+            let now = SimTime::from_ms(10 * (step as u64 + 1));
+            a.tick(now);
+            b.tick(now);
+            let batch: Vec<(cxl_tier::PageId, Rw, u64)> = window
+                .iter()
+                .map(|&(i, w, bytes)| {
+                    let page = ids_a[i % ids_a.len()];
+                    (page, if w { Rw::Write } else { Rw::Read }, bytes)
+                })
+                .collect();
+            for &(page, rw, bytes) in &batch {
+                out_a.push(a.touch(page, rw, bytes, now));
+            }
+            out_b.extend(b.touch_batch(&batch, now));
+        }
+
+        prop_assert_eq!(out_a, out_b, "AccessOutcome streams diverged");
+        prop_assert_eq!(a.stats(), b.stats(), "TierStats diverged");
+        prop_assert_eq!(a.snapshot(), b.snapshot(), "placement diverged");
+        prop_assert_eq!(a.residency(), b.residency());
+    }
+}

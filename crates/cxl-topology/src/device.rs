@@ -141,10 +141,7 @@ impl CxlDevice {
     /// # Panics
     /// Panics if `ns` is negative or non-finite.
     pub fn behind_switch(mut self, ns: f64) -> Self {
-        assert!(
-            ns.is_finite() && ns >= 0.0,
-            "switch hop latency must be finite and non-negative, got {ns}"
-        );
+        crate::fabric::validate_hop_ns(ns, "switch hop");
         self.switch_hop_ns = ns;
         self
     }
@@ -280,6 +277,30 @@ mod tests {
         // Nominal fields are untouched.
         assert!((d.controller_latency_ns - 153.4).abs() < 1e-12);
         assert_eq!(d.capacity_gib, 256);
+    }
+
+    #[test]
+    fn behind_switch_accepts_valid_hops() {
+        assert_eq!(CxlDevice::a1000().behind_switch(0.0).switch_hop_ns, 0.0);
+        assert_eq!(CxlDevice::a1000().behind_switch(70.0).switch_hop_ns, 70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn behind_switch_rejects_nan() {
+        CxlDevice::a1000().behind_switch(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn behind_switch_rejects_infinite() {
+        CxlDevice::a1000().behind_switch(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn behind_switch_rejects_negative() {
+        CxlDevice::a1000().behind_switch(-1.0);
     }
 
     #[test]

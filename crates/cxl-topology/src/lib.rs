@@ -23,12 +23,14 @@
 
 pub mod builder;
 pub mod device;
+pub mod fabric;
 pub mod health;
 pub mod node;
 pub mod socket;
 
 pub use builder::TopologyBuilder;
 pub use device::{CxlDevice, DdrGeneration, PcieLink};
+pub use fabric::{validate_hop_ns, Fabric, FabricLink, FabricPath, FabricSwitch, SwitchId};
 pub use health::DeviceHealth;
 pub use node::{MemoryTier, NodeId, NumaNode};
 pub use socket::{Socket, SocketId, UpiLink};
@@ -118,13 +120,55 @@ impl Topology {
     /// manager may ever grant this host; the live lease is enforced by
     /// the tiering layer's capacity override, not by the topology.
     /// `switch_hop_ns` is the round-trip port-to-port latency of the
-    /// switch between host and pool expander.
+    /// switch between host and pool expander. Internally the hop is
+    /// resolved through a degenerate single-switch [`Fabric`] — the
+    /// same path lookup the multi-rack [`Topology::fleet_host`] uses —
+    /// which sums to exactly `switch_hop_ns` for one switch, keeping
+    /// this constructor bit-identical to the historical scalar model.
     pub fn pooled_host(local_dram_gib: u64, pool_window_gib: u64, switch_hop_ns: f64) -> Self {
-        let mut dev = CxlDevice::a1000().behind_switch(switch_hop_ns);
+        let fabric = Fabric::single_switch(switch_hop_ns);
+        let path_ns = fabric
+            .path_latency_ns("host", "pool")
+            .expect("single-switch fabric connects host to pool");
+        let mut dev = CxlDevice::a1000().behind_switch(path_ns);
         dev.name = "pooled A1000 (switch-attached)".to_string();
         dev.capacity_gib = pool_window_gib;
         let socket0 = Socket::new(SocketId(0), 56, 8, DdrGeneration::Ddr5_4800, local_dram_gib)
             .with_devices(vec![dev]);
+        Self {
+            sockets: vec![socket0],
+            snc: SncMode::Disabled,
+            upi: Vec::new(),
+        }
+    }
+
+    /// Builds one fleet host: a single socket with local DRAM plus one
+    /// switch-attached window per reachable pool, each priced at its
+    /// own fabric path latency. `windows` is `(name, window_gib,
+    /// path_ns)` per pool, typically produced by
+    /// [`Fabric::path_latency_ns`] from this host's port — the node
+    /// order follows the slice, so node 0 is DRAM and node `1 + i` is
+    /// window `i`.
+    ///
+    /// # Panics
+    /// Panics if `windows` is empty or any path latency is NaN,
+    /// infinite, or negative (via [`CxlDevice::behind_switch`]).
+    pub fn fleet_host(local_dram_gib: u64, windows: &[(String, u64, f64)]) -> Self {
+        assert!(
+            !windows.is_empty(),
+            "a fleet host needs at least one pool window"
+        );
+        let devices = windows
+            .iter()
+            .map(|(name, gib, path_ns)| {
+                let mut dev = CxlDevice::a1000().behind_switch(*path_ns);
+                dev.name = format!("pool window ({name})");
+                dev.capacity_gib = *gib;
+                dev
+            })
+            .collect();
+        let socket0 = Socket::new(SocketId(0), 56, 8, DdrGeneration::Ddr5_4800, local_dram_gib)
+            .with_devices(devices);
         Self {
             sockets: vec![socket0],
             snc: SncMode::Disabled,
@@ -323,6 +367,46 @@ mod tests {
         let testbed = Topology::paper_testbed(SncMode::Disabled);
         let direct = testbed.cxl_device(NodeId(2)).expect("A1000");
         assert_eq!(direct.switch_hop_ns, 0.0);
+    }
+
+    #[test]
+    fn fleet_host_prices_each_window_at_its_path_latency() {
+        let fabric = Fabric::rack_spine(2, 4, 70.0, 90.0, 20.0);
+        let near = fabric.path_latency_ns("rack0/host0", "rack0/pool").unwrap();
+        let far = fabric.path_latency_ns("rack0/host0", "rack1/pool").unwrap();
+        let t = Topology::fleet_host(
+            192,
+            &[
+                ("rack0/pool".to_string(), 512, near),
+                ("rack1/pool".to_string(), 512, far),
+            ],
+        );
+        let nodes = t.nodes();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0].tier, MemoryTier::LocalDram);
+        let near_dev = t.cxl_device(nodes[1].id).expect("near window");
+        let far_dev = t.cxl_device(nodes[2].id).expect("far window");
+        assert_eq!(near_dev.switch_hop_ns, 70.0);
+        assert_eq!(far_dev.switch_hop_ns, 270.0);
+        assert!(far_dev.switch_hop_ns > near_dev.switch_hop_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pool window")]
+    fn fleet_host_rejects_empty_windows() {
+        Topology::fleet_host(192, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn pooled_host_rejects_nan_hop() {
+        Topology::pooled_host(256, 512, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn pooled_host_rejects_infinite_hop() {
+        Topology::pooled_host(256, 512, f64::INFINITY);
     }
 
     #[test]

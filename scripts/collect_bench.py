@@ -12,7 +12,11 @@ overwrite), and derives the headline ratios:
 * `engine_churn_speedup` — legacy (pre-arena heap + side-map engine)
   over arena mean time on the identical churn workload,
 * `solver_probe_speedup` — monolithic uncached reference over the
-  production incremental/cached path on the identical knob-probe loop.
+  production incremental/cached path on the identical knob-probe loop,
+* `ycsb_gen_speedup` — per-op YCSB generation over block generation
+  with a live obs registry (the fig5-slice amortization),
+* `tier_touch_speedup` — per-op tier-manager touch over `touch_batch`
+  on the identical access pattern.
 """
 
 import json
@@ -47,6 +51,10 @@ def main(src: str, dst: str) -> int:
             ),
             "solver_probe_speedup": ratio(
                 "speed/solver_probes_reference", "speed/solver_probes_incremental"
+            ),
+            "ycsb_gen_speedup": ratio("speed/ycsb_gen_per_op", "speed/ycsb_gen_batched"),
+            "tier_touch_speedup": ratio(
+                "speed/tier_touch_per_op", "speed/tier_touch_batched"
             ),
         },
     }
