@@ -59,6 +59,13 @@ fn bench_speed(c: &mut Criterion) {
         b.iter(|| black_box(speed::fig5_slice(10_000, 8_000, 20_000)))
     });
 
+    // Open-loop arrival materialization: one bursty diurnal tenant at
+    // 50k rps over 8 phases (~200k piecewise-Poisson draws), the
+    // pre-engine trace-generation slice of the serving front end.
+    g.bench_function("serve_arrival_gen", |b| {
+        b.iter(|| black_box(speed::arrival_gen_slice(50_000.0, 8)))
+    });
+
     g.finish();
 }
 

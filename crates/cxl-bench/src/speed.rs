@@ -351,3 +351,45 @@ pub fn fig5_slice(record_count: u64, ops: u64, warmup_ops: u64) -> f64 {
     );
     cell.throughput_ops
 }
+
+/// Open-loop arrival generation for one bursty diurnal tenant: the
+/// trace-materialization slice of the serving front end (piecewise
+/// Poisson sampling over phase/burst rate segments), which runs before
+/// the engine starts and scales with offered load.
+pub fn arrival_gen_slice(rate_rps: f64, phases: usize) -> usize {
+    use cxl_serve::{BurstConfig, CostConfig, Phase, ServeConfig, TenantClass, TenantConfig};
+    use cxl_sim::SimTime;
+    let tenant = TenantConfig {
+        name: "bench".to_string(),
+        class: TenantClass::Kv {
+            workload: cxl_ycsb::Workload::B,
+            ops_per_request: 64,
+            record_count: 1,
+        },
+        base_rate_rps: rate_rps,
+        phase_mults: (0..phases).map(|i| 0.5 + (i % 4) as f64 * 0.5).collect(),
+        burst: Some(BurstConfig {
+            mult: 1.5,
+            mean_on_s: 0.3,
+            mean_off_s: 0.9,
+        }),
+        queue_cap: 1,
+        admission_rate_rps: rate_rps,
+        admission_burst: 1.0,
+        workers: 1,
+        slo_p99_ms: 1.0,
+    };
+    let cfg = ServeConfig {
+        tenants: vec![tenant],
+        phases: (0..phases)
+            .map(|i| Phase::new(&format!("p{i}"), SimTime::from_ms(500)))
+            .collect(),
+        autoscale: None,
+        static_lease_slabs: 0,
+        fault_at: None,
+        pool_slabs: 0,
+        cost: CostConfig::default(),
+        seed: 42,
+    };
+    cxl_serve::arrival::generate_arrivals(&cfg, 0).len()
+}

@@ -275,8 +275,16 @@ fn run_cell(
         scenario: label,
         pre_kops: pre.throughput_ops / 1e3,
         post_kops: post.throughput_ops / 1e3,
-        pre_p99_us: pre.latency.percentile(99.0) as f64 / 1e3,
-        post_p99_us: post.latency.percentile(99.0) as f64 / 1e3,
+        pre_p99_us: pre
+            .latency
+            .try_percentile(99.0)
+            .expect("pre-fault run has ops") as f64
+            / 1e3,
+        post_p99_us: post
+            .latency
+            .try_percentile(99.0)
+            .expect("post-fault run has ops") as f64
+            / 1e3,
         pages_evacuated,
         pages_to_ssd,
         recovery_ms,

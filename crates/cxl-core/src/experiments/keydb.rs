@@ -123,7 +123,8 @@ impl KeydbStudy {
         );
         for c in CapacityConfig::all() {
             let cell = self.cell(c, Workload::A);
-            let (p50, p95, p99, p999) = cell.latency.tail();
+            let (p50, p95, p99, p999) =
+                cell.latency.try_tail().expect("fig5 cells record every op");
             t.push_row(vec![
                 c.label().to_string(),
                 format!("{:.1}", p50 as f64 / 1e3),

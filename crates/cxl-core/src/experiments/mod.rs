@@ -17,6 +17,7 @@
 //! | [`pool`] | §7.1 projection: dynamic multi-host pooling vs static per-host provisioning |
 //! | [`fleet`] | ROADMAP item 2: multi-rack pooling over a rack/spine fabric with path-priced leases |
 //! | [`autotune`] | Online adaptive control (`cxl-ctl`) vs every static config on a phased trace |
+//! | [`serve`] | Open-loop multi-tenant serving (`cxl-serve`): adaptive leases vs static provisioning on a diurnal trace with a mid-run fault |
 
 pub mod autotune;
 pub mod balancer;
@@ -31,6 +32,7 @@ pub mod llm;
 pub mod pool;
 pub mod processors;
 pub mod replication;
+pub mod serve;
 pub mod slo;
 pub mod spark;
 pub mod vm;

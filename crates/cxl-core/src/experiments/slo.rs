@@ -106,7 +106,11 @@ pub fn probe(config: CapacityConfig, params: &SloParams) -> SloRow {
             store.run(params.workload, params.warmup_ops);
         }
         let r = store.run_open_loop(params.workload, rate, params.ops);
-        let p99_us = r.latency.percentile(99.0) as f64 / 1e3;
+        let p99 = r
+            .latency
+            .try_percentile(99.0)
+            .expect("open-loop run records every op");
+        let p99_us = p99 as f64 / 1e3;
         if p99_us <= params.slo_p99_us {
             max_rate = max_rate.max(rate);
         }

@@ -61,9 +61,20 @@ impl VmStudy {
     }
 
     /// Read-latency penalty at a percentile (paper band: 9–27 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run recorded no reads — a 0/0 here would report
+    /// a fabricated penalty instead of a broken run.
     pub fn latency_penalty(&self, percentile: f64) -> f64 {
-        let m = self.mmem_latency.percentile(percentile) as f64;
-        let c = self.cxl_latency.percentile(percentile) as f64;
+        let m = self
+            .mmem_latency
+            .try_percentile(percentile)
+            .expect("MMEM run recorded reads") as f64;
+        let c = self
+            .cxl_latency
+            .try_percentile(percentile)
+            .expect("CXL run recorded reads") as f64;
         c / m - 1.0
     }
 

@@ -7,7 +7,7 @@
 //! rarely align. This module sizes pool and per-host DRAM against a
 //! deterministic Monte-Carlo demand model and prices the result.
 
-use cxl_stats::Normal;
+use cxl_stats::{nearest_rank as quantile, Normal};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -82,13 +82,6 @@ pub struct PoolingOutcome {
     pub capacity_saving: f64,
     /// Cost saving fraction after pricing CXL GiB vs DRAM GiB.
     pub cost_saving: f64,
-}
-
-/// Quantile of a sorted slice (nearest-rank).
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
 }
 
 /// Runs the pooling study.

@@ -82,6 +82,59 @@ pub struct ServingReport {
     pub duration: SimTime,
 }
 
+/// Per-token decode time when `busy` backends run concurrently on the
+/// cluster (bandwidth contention slows every backend as more run).
+///
+/// `busy = 0` returns [`SimTime::ZERO`] — no decode is in flight, so no
+/// token is being paced. This is the same pricing [`simulate`]'s
+/// dispatch loop uses internally; it is public so external serving
+/// layers (`cxl-serve`) feed requests through the identical model.
+pub fn token_time(cluster: &LlmCluster, placement: LlmPlacement, busy: usize) -> SimTime {
+    if busy == 0 {
+        return SimTime::ZERO;
+    }
+    let tpb = cluster.config().threads_per_backend;
+    let rate = cluster
+        .serving_rate(placement, busy * tpb)
+        .tokens_per_sec
+        .max(1e-9)
+        / busy as f64;
+    SimTime::from_secs_f64(1.0 / rate)
+}
+
+/// Prefill/decode timing of one request at a fixed per-token decode
+/// time (see [`request_timing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Time from dispatch until the first token is out (prefill plus
+    /// one decode step).
+    pub first_token: SimTime,
+    /// Total service time from dispatch to the last token.
+    pub total: SimTime,
+}
+
+/// Prices one request at a per-token decode time `token_time` (from
+/// [`token_time`]) and the KV-cache growth coefficient.
+///
+/// Prefill processes prompt tokens in batched matmuls, ~8x faster per
+/// token than decode; then the first token completes. Decode slows as
+/// the KV cache grows (Fig. 10(c)): token `i` reads `prompt + i` tokens
+/// of context, and the linear growth sums to a closed form over the
+/// remaining output tokens. This is the exact arithmetic of
+/// [`simulate`]'s dispatch loop, extracted so queue-fed callers price
+/// requests bit-identically.
+pub fn request_timing(token_time: SimTime, req: Request, kv_growth_per_kt: f64) -> RequestTiming {
+    let prefill_done_ns = token_time.as_ns() / 8 * req.prompt_tokens as u64 + token_time.as_ns();
+    let rest = (req.output_tokens.max(1) - 1) as u64;
+    let base_rest_ns = token_time.as_ns() * rest;
+    let avg_context_kt = (req.prompt_tokens as f64 + req.output_tokens as f64 / 2.0) / 1_000.0;
+    let kv_extra_ns = (base_rest_ns as f64 * kv_growth_per_kt * avg_context_kt) as u64;
+    RequestTiming {
+        first_token: SimTime::from_ns(prefill_done_ns),
+        total: SimTime::from_ns(prefill_done_ns + base_rest_ns + kv_extra_ns),
+    }
+}
+
 struct BackendState {
     /// When this backend finishes its current work.
     busy_until: SimTime,
@@ -121,20 +174,8 @@ pub fn simulate(cluster: &LlmCluster, cfg: &ServerConfig) -> ServingReport {
     // backends: bandwidth contention slows every backend as more run.
     // (A request's pace is fixed at dispatch from the concurrency at
     // that moment — a mild approximation of full re-pacing.)
-    let tpb = cluster.config().threads_per_backend;
     let token_time_at: Vec<SimTime> = (0..=cfg.backends)
-        .map(|b| {
-            if b == 0 {
-                SimTime::ZERO
-            } else {
-                let rate = cluster
-                    .serving_rate(cfg.placement, b * tpb)
-                    .tokens_per_sec
-                    .max(1e-9)
-                    / b as f64;
-                SimTime::from_secs_f64(1.0 / rate)
-            }
-        })
+        .map(|b| token_time(cluster, cfg.placement, b))
         .collect();
 
     let state = ServerState {
@@ -208,26 +249,13 @@ fn dispatch(engine: &mut Engine<ServerState>) {
         let (arrival, req) = state.queue.remove(0);
         // Concurrency after this assignment sets the decode pace.
         let busy = state.backends.iter().filter(|b| b.busy_until > now).count() + 1;
-        let token_time = state.token_time_at[busy.min(state.token_time_at.len() - 1)];
-        // Prefill processes prompt tokens in batched matmuls, ~8x faster
-        // per token than decode; then the first token completes.
-        let prefill_done_ns =
-            token_time.as_ns() / 8 * req.prompt_tokens as u64 + token_time.as_ns();
-        // Decode slows as the KV cache grows (Fig. 10(c)): token i reads
-        // prompt + i tokens of context; the linear growth sums to a
-        // closed form over the remaining output tokens.
-        let rest = (req.output_tokens.max(1) - 1) as u64;
-        let base_rest_ns = token_time.as_ns() * rest;
-        let avg_context_kt = (req.prompt_tokens as f64 + req.output_tokens as f64 / 2.0) / 1_000.0;
-        let kv_extra_ns = (base_rest_ns as f64 * state.kv_growth_per_kt * avg_context_kt) as u64;
-        let total_ns = prefill_done_ns + base_rest_ns + kv_extra_ns;
-        let finish = now + SimTime::from_ns(total_ns);
+        let tt = state.token_time_at[busy.min(state.token_time_at.len() - 1)];
+        let timing = request_timing(tt, req, state.kv_growth_per_kt);
+        let finish = now + timing.total;
         state.backends[backend].busy_until = finish;
-        state.ttft.record(
-            (now + SimTime::from_ns(prefill_done_ns))
-                .saturating_sub(arrival)
-                .as_ns(),
-        );
+        state
+            .ttft
+            .record((now + timing.first_token).saturating_sub(arrival).as_ns());
         state.tokens_done += req.output_tokens as u64;
         // At completion: record latency and pull more work.
         engine.schedule_at(finish, move |e| {

@@ -148,11 +148,9 @@ impl DemandProcess {
     /// Nearest-rank percentile of the sampled trace, GiB — the per-host
     /// DRAM a static (no-pool) deployment installs at a given SLO.
     pub fn percentile(&self, horizon: SimTime, step: SimTime, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
         let mut samples = self.sampled(horizon, step);
         samples.sort_by(|a, b| a.partial_cmp(b).expect("working sets are finite"));
-        let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
-        samples[rank - 1]
+        cxl_stats::nearest_rank(&samples, p)
     }
 }
 

@@ -453,9 +453,7 @@ impl PoolState {
             .map(|i| traces.iter().map(|t| (t[i] - local).max(0.0)).sum())
             .collect();
         aggregate.sort_by(|a, b| a.partial_cmp(b).expect("finite demand"));
-        let rank = ((cfg.slo_percentile * aggregate.len() as f64).ceil() as usize)
-            .clamp(1, aggregate.len());
-        let ideal_pool_gib = aggregate[rank - 1];
+        let ideal_pool_gib = cxl_stats::nearest_rank(&aggregate, cfg.slo_percentile);
         let stats = self.manager.stats().clone();
         // Idle latencies from the pristine host topology: what the
         // switch hop costs every pooled access.

@@ -1,0 +1,251 @@
+//! Tenant, diurnal-trace, admission, and autoscale configuration.
+
+use cxl_sim::SimTime;
+use cxl_ycsb::Workload;
+use serde::Serialize;
+
+/// One phase of the diurnal schedule shared by every tenant.
+///
+/// The schedule is a sequence of named phases (morning ramp, day peak,
+/// evening, night trough); each tenant scales its base arrival rate by
+/// its own per-phase multiplier, so tenant mixes can peak at different
+/// times of day while sharing one clock.
+#[derive(Debug, Clone, Serialize)]
+pub struct Phase {
+    /// Display name ("day", "night", ...).
+    pub name: String,
+    /// Phase duration in virtual time.
+    pub dur: SimTime,
+}
+
+impl Phase {
+    /// Convenience constructor.
+    pub fn new(name: &str, dur: SimTime) -> Self {
+        Self {
+            name: name.to_string(),
+            dur,
+        }
+    }
+}
+
+/// Bursty modulation on top of the diurnal rate: an alternating-renewal
+/// process (exponential on/off holding times) multiplying the arrival
+/// rate while "on" — the demand shape `cxl-pool`'s provisioning studies
+/// assume, now driving actual request arrivals.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BurstConfig {
+    /// Rate multiplier while a burst is active (>= 1).
+    pub mult: f64,
+    /// Mean burst duration, seconds.
+    pub mean_on_s: f64,
+    /// Mean gap between bursts, seconds.
+    pub mean_off_s: f64,
+}
+
+/// What a tenant's requests do when dispatched.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub enum TenantClass {
+    /// KeyDB tenant: each request runs `ops_per_request` YCSB ops
+    /// against a flash-backed store through
+    /// [`cxl_kv::KvStore::service_request`].
+    Kv {
+        /// YCSB mix the tenant issues.
+        workload: Workload,
+        /// Store operations bundled per request (a pipelined batch).
+        ops_per_request: u64,
+        /// Pre-loaded records in the tenant's store.
+        record_count: u64,
+    },
+    /// LLM tenant: each request is a prefill + decode priced by
+    /// [`cxl_llm::server::request_timing`] at the live backend
+    /// concurrency.
+    Llm {
+        /// Prompt tokens per request.
+        prompt_tokens: u32,
+        /// Mean output tokens per request (uniform 0.5x–1.5x draw, as
+        /// in the Fig. 9 serving sim).
+        mean_output_tokens: u32,
+    },
+}
+
+/// One tenant of the serving front end.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantConfig {
+    /// Tenant name — keys the per-tenant `cxl-obs` metric family
+    /// (`serve/<name>/...`) and the report rows.
+    pub name: String,
+    /// Backend class and request shape.
+    pub class: TenantClass,
+    /// Base arrival rate, requests/s, before diurnal/burst modulation.
+    pub base_rate_rps: f64,
+    /// Per-phase rate multipliers, index-aligned with
+    /// [`ServeConfig::phases`].
+    pub phase_mults: Vec<f64>,
+    /// Optional bursty modulation on top of the diurnal shape.
+    pub burst: Option<BurstConfig>,
+    /// Bounded FIFO depth; arrivals past it are `Rejected` (backpressure
+    /// cutoff, counted separately from budget sheds).
+    pub queue_cap: usize,
+    /// Admission token budget refill, requests/s. 0 suspends the tenant:
+    /// every arrival sheds once the initial burst drains.
+    pub admission_rate_rps: f64,
+    /// Admission token budget burst capacity, requests.
+    pub admission_burst: f64,
+    /// Base service concurrency (KeyDB worker threads / LLM backend
+    /// instances) before any leased expansion.
+    pub workers: usize,
+    /// Per-tenant p99 SLO target, ms (reported; the guardrail the
+    /// adaptive scenario must hold at nominal load).
+    pub slo_p99_ms: f64,
+}
+
+/// Autoscaler configuration (present = adaptive leasing, absent =
+/// static provisioning).
+///
+/// The autoscaler is built from `cxl-ctl` parts: a [`cxl_ctl::KnobSpec`]
+/// lease ladder per tenant, [`cxl_ctl::Series`] EWMAs of backlog as the
+/// signal plane, and the transactional [`cxl_ctl::Plant`] contract (with
+/// `check_invariants` guardrails) for actuation. Unlike the autotune
+/// study's hill climber — which probes an *unknown* objective — the
+/// serving layer tracks a *known* signal (backlog per worker), so the
+/// policy here is deterministic threshold tracking with hysteresis and
+/// per-knob cooldown.
+#[derive(Debug, Clone, Serialize)]
+pub struct AutoscaleConfig {
+    /// Control-loop tick period.
+    pub period: SimTime,
+    /// Lease ladder in pool slabs (monotone, starts at 0).
+    pub ladder: Vec<u64>,
+    /// Grow one rung when EWMA backlog exceeds this many requests per
+    /// worker.
+    pub grow_backlog_per_worker: f64,
+    /// Shrink one rung when EWMA backlog falls below this many requests
+    /// per worker (hysteresis: must be < grow threshold).
+    pub shrink_backlog_per_worker: f64,
+    /// Panic threshold: when EWMA backlog per worker exceeds this, jump
+    /// straight to the top rung instead of climbing one rung per tick.
+    /// A fault-sized backlog excursion is not a gentle ramp — paying
+    /// rung-by-rung cooldowns through it bleeds p99 for seconds while
+    /// the signal is already unambiguous. Must be > the grow threshold.
+    pub panic_backlog_per_worker: f64,
+    /// Ticks a tenant's lease knob stays on cooldown after a change.
+    pub cooldown_ticks: u32,
+    /// EWMA smoothing factor for the backlog signal.
+    pub ewma_alpha: f64,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            period: SimTime::from_ms(250),
+            ladder: vec![0, 1, 2, 4, 6, 8],
+            grow_backlog_per_worker: 2.0,
+            shrink_backlog_per_worker: 0.5,
+            panic_backlog_per_worker: 8.0,
+            cooldown_ticks: 2,
+            ewma_alpha: 0.4,
+        }
+    }
+}
+
+/// Capacity pricing for cost-per-request accounting.
+///
+/// Slabs are the capacity quantum everywhere in the pooling stack, so
+/// the ledger integrates *slab-seconds*: statically provisioned base
+/// capacity (per-tenant DRAM + fixed expander, expressed in slab
+/// equivalents) bills at the DRAM rate for the whole run; leased slabs
+/// bill at the DRAM rate scaled by `cxl-cost`'s relative CXL price only
+/// while held.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CostConfig {
+    /// Cost units per slab-second of static (DRAM-priced) capacity.
+    pub dram_cost_per_slab_s: f64,
+    /// Relative cost of pooled CXL capacity vs DRAM (defaults to
+    /// [`cxl_cost::PoolingConfig`]'s `cxl_cost_per_gib_rel`).
+    pub cxl_cost_rel: f64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        Self {
+            dram_cost_per_slab_s: 1.0,
+            cxl_cost_rel: cxl_cost::PoolingConfig::default().cxl_cost_per_gib_rel,
+        }
+    }
+}
+
+/// Full serving-scenario configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeConfig {
+    /// Tenant mix.
+    pub tenants: Vec<TenantConfig>,
+    /// Diurnal phase schedule (shared clock; per-tenant multipliers).
+    pub phases: Vec<Phase>,
+    /// Adaptive leasing when present; static provisioning when absent.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Slabs every tenant holds for the whole run under static
+    /// provisioning (ignored when `autoscale` is set).
+    pub static_lease_slabs: u64,
+    /// Mid-run expander fault instant (the fixed CXL expander of every
+    /// KV tenant dies and the LLM cluster's expander goes offline).
+    pub fault_at: Option<SimTime>,
+    /// Slabs in the shared lease pool.
+    pub pool_slabs: u64,
+    /// Capacity pricing.
+    pub cost: CostConfig,
+    /// Root seed; every stream is derived per tenant by label.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// Total virtual duration of the phase schedule.
+    pub fn horizon(&self) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for p in &self.phases {
+            t += p.dur;
+        }
+        t
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent configuration (mismatched phase
+    /// multiplier lengths, empty tenant/phase lists, a fault scheduled
+    /// past the horizon, or a non-monotone autoscale ladder).
+    pub fn validate(&self) {
+        assert!(!self.tenants.is_empty(), "need at least one tenant");
+        assert!(!self.phases.is_empty(), "need at least one phase");
+        for t in &self.tenants {
+            assert_eq!(
+                t.phase_mults.len(),
+                self.phases.len(),
+                "tenant {} has {} phase multipliers for {} phases",
+                t.name,
+                t.phase_mults.len(),
+                self.phases.len()
+            );
+            assert!(t.workers > 0, "tenant {} has no workers", t.name);
+            assert!(t.queue_cap > 0, "tenant {} has no queue", t.name);
+        }
+        if let Some(at) = self.fault_at {
+            assert!(at < self.horizon(), "fault scheduled past the horizon");
+        }
+        if let Some(a) = &self.autoscale {
+            assert!(!a.ladder.is_empty(), "autoscale ladder must not be empty");
+            assert!(
+                a.ladder.windows(2).all(|w| w[0] < w[1]),
+                "autoscale ladder must be strictly increasing"
+            );
+            assert!(
+                a.shrink_backlog_per_worker < a.grow_backlog_per_worker,
+                "hysteresis requires shrink threshold < grow threshold"
+            );
+            assert!(
+                a.panic_backlog_per_worker > a.grow_backlog_per_worker,
+                "panic threshold must sit above the grow threshold"
+            );
+        }
+    }
+}

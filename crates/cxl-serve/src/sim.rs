@@ -1,0 +1,861 @@
+//! The serving event loop: admission, dispatch, completion, autoscale,
+//! fault injection, and the slab-second cost ledger.
+//!
+//! Everything runs on one [`cxl_sim::Engine`]; arrival traces are
+//! materialised up front (see [`crate::arrival`]) so the offered load is
+//! independent of backend state. Each tenant owns a bounded FIFO fed
+//! through two admission gates — a queue-depth cutoff (`Rejected`) and a
+//! token budget (`Shed`) — and a worker pool that prices service on the
+//! real backends: [`cxl_kv::KvStore::service_request`] for KeyDB
+//! tenants, [`cxl_llm::server::request_timing`] at the live concurrency
+//! for LLM tenants.
+//!
+//! Capacity elasticity goes through the `cxl-ctl` [`Plant`] contract:
+//! the world itself is the plant, one lease knob per tenant, and every
+//! actuation is transactional against the shared [`PoolManager`] —
+//! partial grants roll back, shrink goes through the store's
+//! rate-limited evacuation path, and `check_invariants` audits the
+//! lease/grant/capacity triangle after every change (violations are
+//! counted and gated at zero in CI).
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+use serde::Serialize;
+
+use cxl_ctl::Series;
+use cxl_ctl::{CtlError, KnobSpec, Plant};
+use cxl_fault::FaultKind;
+use cxl_kv::{KvConfig, KvStore};
+use cxl_llm::server::{request_timing, token_time, Request, ServerConfig};
+use cxl_llm::{LlmCluster, LlmConfig, LlmPlacement};
+use cxl_pool::{HostId, PoolManager};
+use cxl_sim::{Engine, SimTime, TokenBucket};
+use cxl_stats::rng::{derive_seed, stream_rng};
+use cxl_stats::Histogram;
+use cxl_tier::{AllocPolicy, HotPageConfig, MigrationMode, TierConfig};
+use cxl_topology::{MemoryTier, NodeId, SncMode, Topology};
+use cxl_ycsb::Workload;
+
+use crate::arrival::generate_arrivals;
+use crate::config::{ServeConfig, TenantClass, TenantConfig};
+
+/// SNC-disabled paper testbed: 0,1 = DRAM sockets; 2,3 = CXL on s0.
+const DRAM0: NodeId = NodeId(0);
+/// The fixed expander that dies at the fault instant.
+const CXL_FIXED: NodeId = NodeId(2);
+/// The lease-backed expander the autoscaler grows and shrinks.
+const CXL_LEASED: NodeId = NodeId(3);
+
+// ---------------------------------------------------------------------
+// Request work and outcomes
+// ---------------------------------------------------------------------
+
+/// Pre-drawn work for one request (materialised with the trace so the
+/// offered load never depends on simulation state).
+#[derive(Debug, Clone, Copy)]
+enum Work {
+    /// A KeyDB batch of this many ops.
+    Kv { ops: u64 },
+    /// An LLM request with its output length already drawn.
+    Llm { req: Request },
+}
+
+/// A request sitting in a tenant's FIFO.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    arrived: SimTime,
+    work: Work,
+}
+
+// ---------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------
+
+/// A flash-backed KeyDB store on the paper testbed, sized so DRAM plus
+/// the fixed expander barely cover the dataset — the leased expander is
+/// the relief valve, and losing the fixed expander mid-run makes it the
+/// only one.
+struct KvBackend {
+    store: KvStore,
+    topo: Topology,
+    workload: Workload,
+    slab_bytes: u64,
+}
+
+impl KvBackend {
+    fn new(t: &TenantConfig, record_count: u64, workload: Workload, seed: u64) -> Self {
+        let topo = Topology::paper_testbed(SncMode::Disabled);
+        let dataset_bytes = record_count * 1024;
+        let mut tc = TierConfig::bind(vec![DRAM0]);
+        tc.policy = AllocPolicy::interleave(vec![DRAM0], vec![CXL_FIXED, CXL_LEASED], 1, 1);
+        // Base coverage is deliberately lean: 35% DRAM + 40% fixed
+        // expander, so the flash-resident tail is real capacity
+        // pressure. That makes the lease a live performance lever in
+        // BOTH regimes — pre-fault a day-peak tenant leases to lift the
+        // tail out of flash, and the slabs it already holds when the
+        // fixed expander dies absorb the relocated pages (a reactive
+        // post-fault grant can only promote the hot set back; pages
+        // spilled to flash at fault time otherwise stay cold).
+        tc.capacity_override = vec![
+            (DRAM0, dataset_bytes * 7 / 20),
+            (NodeId(1), 0),
+            (CXL_FIXED, dataset_bytes * 2 / 5),
+            (CXL_LEASED, 0),
+        ];
+        // Aggressive promotion (vs the 128 MiB/s steady-tiering limit
+        // the autotune study uses): when a lease lands mid-incident,
+        // refilling the hot set quickly IS the recovery — throttling it
+        // just stretches the transient the lease was bought to end.
+        tc.migration = MigrationMode::HotPageSelection(HotPageConfig {
+            promote_rate_limit_bytes_per_sec: 512.0 * 1024.0 * 1024.0,
+            ..Default::default()
+        });
+        let kv_cfg = KvConfig {
+            record_count,
+            seed: derive_seed(seed, &format!("serve.kv.{}", t.name)),
+            ..Default::default()
+        };
+        let store = KvStore::new(&topo, tc, kv_cfg, true);
+        let page = store.tier().page_size();
+        let slab_bytes = ((dataset_bytes / 8) / page).max(1) * page;
+        Self {
+            store,
+            topo,
+            workload,
+            slab_bytes,
+        }
+    }
+}
+
+/// The §4.5 LLM serving model; leased slabs add backend instances.
+struct LlmBackend {
+    cluster: LlmCluster,
+    topo: Topology,
+    placement: LlmPlacement,
+    kv_growth_per_kt: f64,
+}
+
+impl LlmBackend {
+    fn new() -> Self {
+        let topo = Topology::snc_domain_with_cxl();
+        let cluster = LlmCluster::with_topology(LlmConfig::default(), &topo);
+        Self {
+            cluster,
+            topo,
+            placement: LlmPlacement::Interleave { n: 2, m: 1 },
+            kv_growth_per_kt: ServerConfig::default().kv_growth_per_kt,
+        }
+    }
+}
+
+enum Backend {
+    // Boxed: a backend carries a full store/cluster + topology, and
+    // tenants live in one Vec — keep the enum pointer-sized.
+    Kv(Box<KvBackend>),
+    Llm(Box<LlmBackend>),
+}
+
+// ---------------------------------------------------------------------
+// Tenant runtime state
+// ---------------------------------------------------------------------
+
+struct TenantRt {
+    cfg: TenantConfig,
+    backend: Backend,
+    queue: VecDeque<Queued>,
+    bucket: TokenBucket,
+    busy: usize,
+    held_slabs: u64,
+    peak_slabs: u64,
+    rung: usize,
+    cooldown: u32,
+    backlog: Series,
+    arrivals: u64,
+    served: u64,
+    shed: u64,
+    rejected: u64,
+    max_queue: usize,
+    pre_hist: Histogram,
+    post_hist: Histogram,
+}
+
+impl TenantRt {
+    /// Concurrent requests the tenant can have in service right now.
+    fn capacity(&self) -> usize {
+        match self.backend {
+            // KV leases add memory capacity, not workers.
+            Backend::Kv(_) => self.cfg.workers,
+            // LLM leases add backend instances.
+            Backend::Llm(_) => self.cfg.workers + self.held_slabs as usize,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The world
+// ---------------------------------------------------------------------
+
+/// Engine state: every tenant plus the shared lease pool and ledgers.
+pub struct ServeWorld {
+    cfg: ServeConfig,
+    tenants: Vec<TenantRt>,
+    pool: PoolManager,
+    /// Lease ladder in slabs (autoscale config, or a one-rung static
+    /// ladder) — [`Plant::apply`] settings index into it.
+    ladder: Vec<u64>,
+    /// Knob specs, one per tenant; kept so the control surface is the
+    /// same [`KnobSpec`] shape the rest of the control plane speaks.
+    knobs: Vec<KnobSpec>,
+    /// Virtual time of the event being handled (plumbed to the pool).
+    clock: SimTime,
+    fault_fired: bool,
+    lease_grows: u64,
+    lease_shrinks: u64,
+    lease_rejected: u64,
+    guardrail_violations: u64,
+    /// Integrated leased slab-seconds, priced.
+    lease_cost_units: f64,
+    last_accrue: SimTime,
+}
+
+impl ServeWorld {
+    fn new(cfg: &ServeConfig) -> Self {
+        cfg.validate();
+        let ladder = match &cfg.autoscale {
+            Some(a) => a.ladder.clone(),
+            None => vec![cfg.static_lease_slabs],
+        };
+        let knobs = cfg
+            .tenants
+            .iter()
+            .map(|t| {
+                KnobSpec::new(
+                    format!("lease.{}", t.name),
+                    ladder.iter().map(|&s| (format!("{s}slabs"), s as f64)),
+                    cfg.autoscale.as_ref().map_or(0, |a| a.cooldown_ticks),
+                )
+            })
+            .collect();
+        let tenants = cfg
+            .tenants
+            .iter()
+            .map(|t| {
+                let backend = match t.class {
+                    TenantClass::Kv {
+                        workload,
+                        record_count,
+                        ..
+                    } => Backend::Kv(Box::new(KvBackend::new(
+                        t,
+                        record_count,
+                        workload,
+                        cfg.seed,
+                    ))),
+                    TenantClass::Llm { .. } => Backend::Llm(Box::new(LlmBackend::new())),
+                };
+                TenantRt {
+                    cfg: t.clone(),
+                    backend,
+                    queue: VecDeque::new(),
+                    bucket: TokenBucket::new(t.admission_rate_rps, t.admission_burst),
+                    busy: 0,
+                    held_slabs: 0,
+                    peak_slabs: 0,
+                    rung: 0,
+                    cooldown: 0,
+                    backlog: Series::new(64, cfg.autoscale.as_ref().map_or(0.4, |a| a.ewma_alpha)),
+                    arrivals: 0,
+                    served: 0,
+                    shed: 0,
+                    rejected: 0,
+                    max_queue: 0,
+                    pre_hist: Histogram::new(),
+                    post_hist: Histogram::new(),
+                }
+            })
+            .collect::<Vec<_>>();
+        let hosts = tenants.len();
+        Self {
+            cfg: cfg.clone(),
+            tenants,
+            pool: PoolManager::new(cfg.pool_slabs, hosts, 0.25),
+            ladder,
+            knobs,
+            clock: SimTime::ZERO,
+            fault_fired: false,
+            lease_grows: 0,
+            lease_shrinks: 0,
+            lease_rejected: 0,
+            guardrail_violations: 0,
+            lease_cost_units: 0.0,
+            last_accrue: SimTime::ZERO,
+        }
+    }
+
+    /// Integrates the lease ledger up to `now` at the CXL price.
+    fn accrue(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.last_accrue).as_secs_f64();
+        let held: u64 = self.tenants.iter().map(|t| t.held_slabs).sum();
+        self.lease_cost_units +=
+            held as f64 * dt * self.cfg.cost.dram_cost_per_slab_s * self.cfg.cost.cxl_cost_rel;
+        self.last_accrue = now;
+    }
+
+    /// Moves tenant `ti`'s lease to `target` slabs, transactionally:
+    /// a partial pool grant rolls back and rejects; a KV shrink goes
+    /// through the rate-limited evacuation path before slabs return to
+    /// the pool.
+    fn set_lease(&mut self, ti: usize, target: u64) -> Result<(), CtlError> {
+        let cur = self.tenants[ti].held_slabs;
+        if target == cur {
+            return Ok(());
+        }
+        self.accrue(self.clock);
+        let host = HostId(ti);
+        let now = self.clock;
+        if target > cur {
+            let want = target - cur;
+            let resp = self.pool.request(host, want, now);
+            let granted = resp.outcome.granted_now();
+            if granted < want {
+                self.pool.cancel_queued(host);
+                if granted > 0 {
+                    self.pool.release(host, granted, now);
+                }
+                return Err(CtlError::Rejected(format!(
+                    "pool granted {granted}/{want} slabs"
+                )));
+            }
+            if let Backend::Kv(kv) = &mut self.tenants[ti].backend {
+                if let Err(e) = kv.store.grow_expander(CXL_LEASED, target * kv.slab_bytes) {
+                    self.pool.release(host, want, now);
+                    return Err(CtlError::Rejected(e.to_string()));
+                }
+            }
+        } else {
+            if let Backend::Kv(kv) = &mut self.tenants[ti].backend {
+                kv.store
+                    .shrink_expander(&kv.topo, CXL_LEASED, target * kv.slab_bytes)
+                    .map_err(|e| CtlError::Rejected(e.to_string()))?;
+            }
+            self.pool.release(host, cur - target, now);
+        }
+        let t = &mut self.tenants[ti];
+        t.held_slabs = target;
+        t.peak_slabs = t.peak_slabs.max(target);
+        if target > cur {
+            self.lease_grows += 1;
+        } else {
+            self.lease_shrinks += 1;
+        }
+        // Peak (a running max), not the instantaneous level: cells of a
+        // study share this registry, so only commutative aggregates stay
+        // identical under any worker schedule.
+        if cxl_obs::active() {
+            cxl_obs::counter_max(
+                &format!("serve/{}/peak_lease_slabs", self.tenants[ti].cfg.name),
+                target,
+            );
+        }
+        Ok(())
+    }
+
+    /// Kills the fixed CXL capacity of every backend: KV stores fence
+    /// and evacuate their fixed expander; the LLM cluster's expander
+    /// goes offline and its interleave collapses to DRAM.
+    fn inject_fault(&mut self) {
+        for t in &mut self.tenants {
+            match &mut t.backend {
+                Backend::Kv(kv) => {
+                    FaultKind::ExpanderOffline { node: CXL_FIXED }
+                        .apply(&mut kv.topo)
+                        .expect("offline fault is valid on the paper testbed");
+                    kv.store
+                        .fail_expander(&kv.topo, CXL_FIXED)
+                        .expect("evacuation survives with flash on");
+                }
+                Backend::Llm(lb) => {
+                    let node = lb
+                        .topo
+                        .nodes()
+                        .iter()
+                        .find(|n| n.tier == MemoryTier::CxlExpander)
+                        .expect("snc domain has a cxl expander")
+                        .id;
+                    lb.topo
+                        .cxl_device_mut(node)
+                        .expect("expander node has a device")
+                        .health
+                        .online = false;
+                    let topo = lb.topo.clone();
+                    lb.cluster.apply_topology(&topo);
+                }
+            }
+        }
+        self.fault_fired = true;
+        cxl_obs::counter_add("serve/faults_injected", 1);
+    }
+}
+
+impl Plant for ServeWorld {
+    /// Knob `i` is tenant `i`'s lease; `setting` indexes the ladder.
+    fn apply(&mut self, knob: usize, setting: usize) -> Result<(), CtlError> {
+        if knob >= self.tenants.len() {
+            return Err(CtlError::UnknownKnob(knob));
+        }
+        assert!(
+            setting < self.knobs[knob].len(),
+            "setting {setting} out of range for knob {knob}"
+        );
+        self.set_lease(knob, self.ladder[setting])
+    }
+
+    /// Audits the lease/grant/capacity triangle for every tenant.
+    fn check_invariants(&self) -> Result<(), String> {
+        for (ti, t) in self.tenants.iter().enumerate() {
+            if self.pool.granted_slabs(HostId(ti)) != t.held_slabs {
+                return Err(format!(
+                    "tenant {}: pool grant {} != held lease {}",
+                    t.cfg.name,
+                    self.pool.granted_slabs(HostId(ti)),
+                    t.held_slabs
+                ));
+            }
+            if let Backend::Kv(kv) = &t.backend {
+                let page = kv.store.tier().page_size();
+                let (used, cap) = kv.store.tier().node_usage(CXL_LEASED);
+                let expect_cap = t.held_slabs * kv.slab_bytes / page;
+                if cap != expect_cap {
+                    return Err(format!(
+                        "tenant {}: leased node capacity {cap} pages != {expect_cap} for {} slabs",
+                        t.cfg.name, t.held_slabs
+                    ));
+                }
+                if used > cap {
+                    return Err(format!(
+                        "tenant {}: leased node holds {used} pages > capacity {cap}",
+                        t.cfg.name
+                    ));
+                }
+            }
+        }
+        if self.pool.used_slabs() > self.pool.total_slabs() {
+            return Err("pool oversubscribed".to_string());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event handlers
+// ---------------------------------------------------------------------
+
+fn on_arrival(e: &mut Engine<ServeWorld>, ti: usize, work: Work) {
+    let now = e.now();
+    let w = e.state_mut();
+    w.clock = now;
+    let t = &mut w.tenants[ti];
+    t.arrivals += 1;
+    // Gate order matters: the token budget is the tenant's admission
+    // contract (an SLO-rate limit), so it is charged first; the bounded
+    // queue is backpressure for traffic the budget already admitted.
+    if !t.bucket.try_take(now, 1.0) {
+        t.shed += 1;
+        cxl_obs::counter_add("serve/shed", 1);
+        if cxl_obs::active() {
+            cxl_obs::counter_add(&format!("serve/{}/shed", t.cfg.name), 1);
+        }
+        return;
+    }
+    if t.queue.len() >= t.cfg.queue_cap {
+        t.rejected += 1;
+        cxl_obs::counter_add("serve/rejected", 1);
+        if cxl_obs::active() {
+            cxl_obs::counter_add(&format!("serve/{}/rejected", t.cfg.name), 1);
+        }
+        return;
+    }
+    t.queue.push_back(Queued { arrived: now, work });
+    t.max_queue = t.max_queue.max(t.queue.len());
+    dispatch(e, ti);
+}
+
+/// Starts service for queued requests while workers are free.
+fn dispatch(e: &mut Engine<ServeWorld>, ti: usize) {
+    loop {
+        let now = e.now();
+        let w = e.state_mut();
+        let t = &mut w.tenants[ti];
+        if t.busy >= t.capacity() || t.queue.is_empty() {
+            return;
+        }
+        let q = t.queue.pop_front().expect("checked non-empty");
+        t.busy += 1;
+        let svc = match (&mut t.backend, q.work) {
+            (Backend::Kv(kv), Work::Kv { ops }) => kv.store.service_request(now, kv.workload, ops),
+            (Backend::Llm(lb), Work::Llm { req }) => {
+                let tt = token_time(&lb.cluster, lb.placement, t.busy);
+                request_timing(tt, req, lb.kv_growth_per_kt).total
+            }
+            _ => unreachable!("tenant class and work kind are built together"),
+        };
+        let arrived = q.arrived;
+        e.schedule_at(now + svc, move |e| on_complete(e, ti, arrived));
+    }
+}
+
+fn on_complete(e: &mut Engine<ServeWorld>, ti: usize, arrived: SimTime) {
+    let now = e.now();
+    let w = e.state_mut();
+    w.clock = now;
+    let post_fault = w.cfg.fault_at.is_some_and(|f| now >= f);
+    let t = &mut w.tenants[ti];
+    t.busy -= 1;
+    t.served += 1;
+    let lat_us = now.saturating_sub(arrived).as_ns() / 1_000;
+    if post_fault {
+        t.post_hist.record(lat_us);
+    } else {
+        t.pre_hist.record(lat_us);
+    }
+    cxl_obs::counter_add("serve/served", 1);
+    cxl_obs::record("serve/sojourn_us", lat_us);
+    if cxl_obs::active() {
+        cxl_obs::counter_add(&format!("serve/{}/served", t.cfg.name), 1);
+    }
+    dispatch(e, ti);
+}
+
+/// One autoscale tick: refresh every tenant's backlog EWMA, walk its
+/// lease rung with hysteresis and cooldown, actuate through the plant,
+/// and audit invariants.
+fn autoscale_tick(e: &mut Engine<ServeWorld>) {
+    let now = e.now();
+    let n = e.state().tenants.len();
+    for ti in 0..n {
+        let decision = {
+            let w = e.state_mut();
+            w.clock = now;
+            let a = w.cfg.autoscale.clone().expect("tick only runs adaptive");
+            let t = &mut w.tenants[ti];
+            t.backlog.push((t.queue.len() + t.busy) as f64);
+            if t.cooldown > 0 {
+                t.cooldown -= 1;
+                None
+            } else {
+                let ew = t.backlog.ewma().unwrap_or(0.0);
+                let per_worker = ew / t.cfg.workers as f64;
+                let rung = t.rung;
+                let top = w.ladder.len() - 1;
+                if per_worker > a.panic_backlog_per_worker && rung < top {
+                    // Fault-sized excursion: skip the ladder walk.
+                    Some(top)
+                } else if per_worker > a.grow_backlog_per_worker && rung < top {
+                    Some(rung + 1)
+                } else if per_worker < a.shrink_backlog_per_worker && rung > 0 {
+                    Some(rung - 1)
+                } else {
+                    None
+                }
+            }
+        };
+        let Some(target) = decision else { continue };
+        let w = e.state_mut();
+        match Plant::apply(w, ti, target) {
+            Ok(()) => {
+                let cooldown = w.knobs[ti].cooldown_ticks;
+                let t = &mut w.tenants[ti];
+                t.rung = target;
+                t.cooldown = cooldown;
+            }
+            Err(CtlError::Rejected(_)) => {
+                // Contention for the shared pool is normal operation:
+                // count it and retry on a later tick.
+                w.lease_rejected += 1;
+                cxl_obs::counter_add("serve/lease_rejected", 1);
+            }
+            Err(e) => unreachable!("knob index is always valid: {e:?}"),
+        }
+        if let Err(msg) = w.check_invariants() {
+            w.guardrail_violations += 1;
+            cxl_obs::counter_add("serve/guardrail_violations", 1);
+            debug_assert!(false, "serve invariant violated: {msg}");
+        }
+        // After a successful lease change a burst of queued work may now
+        // fit; dispatch immediately rather than waiting for the next
+        // completion.
+        dispatch(e, ti);
+    }
+    // Newly freed slabs can unblock another tenant's queued grant only
+    // on its own later tick; nothing to do here.
+}
+
+// ---------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------
+
+/// Per-tenant outcome of a serving run.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Requests that arrived within the horizon.
+    pub arrivals: u64,
+    /// Requests completed within the horizon.
+    pub served: u64,
+    /// Requests shed by the admission token budget.
+    pub shed: u64,
+    /// Requests rejected by the queue-depth cutoff.
+    pub rejected: u64,
+    /// p99 sojourn (queueing + service), ms, over the whole run.
+    /// `None` when the tenant served nothing — a suspended tenant has
+    /// no latency distribution, not a zero one.
+    pub p99_ms: Option<f64>,
+    /// p99 sojourn before the fault instant, ms.
+    pub p99_pre_fault_ms: Option<f64>,
+    /// p99 sojourn at/after the fault instant, ms.
+    pub p99_post_fault_ms: Option<f64>,
+    /// Mean sojourn, ms.
+    pub mean_ms: f64,
+    /// Deepest the FIFO ever got.
+    pub max_queue: usize,
+    /// Largest lease the tenant held.
+    pub peak_lease_slabs: u64,
+    /// Lease held at the horizon.
+    pub final_lease_slabs: u64,
+    /// The tenant's p99 SLO target, ms (for reference in reports).
+    pub slo_p99_ms: f64,
+}
+
+impl TenantReport {
+    /// Fraction of arrivals dropped by either admission gate.
+    pub fn drop_fraction(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        (self.shed + self.rejected) as f64 / self.arrivals as f64
+    }
+
+    /// p99 as a fraction of the tenant's SLO target (1.0 = exactly at
+    /// SLO; > 1 = violating). `None` when the tenant served nothing.
+    ///
+    /// This is the unit tail comparisons across tenant classes must use:
+    /// an LLM tenant's healthy p99 is three orders of magnitude above a
+    /// KV tenant's, so raw worst-of-p99s would only ever describe the
+    /// LLM tenant.
+    pub fn slo_frac(&self) -> Option<f64> {
+        self.p99_ms.map(|p| p / self.slo_p99_ms)
+    }
+}
+
+/// Whole-run outcome: per-tenant rows plus shared ledgers.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Per-tenant outcomes, in config order.
+    pub tenants: Vec<TenantReport>,
+    /// Total requests served.
+    pub served: u64,
+    /// Total requests shed by token budgets.
+    pub shed: u64,
+    /// Total requests rejected by queue cutoffs.
+    pub rejected: u64,
+    /// Successful lease grows.
+    pub lease_grows: u64,
+    /// Successful lease shrinks.
+    pub lease_shrinks: u64,
+    /// Lease actions rejected by the pool or the evacuation path.
+    pub lease_rejected: u64,
+    /// `check_invariants` failures after actuation (must be 0).
+    pub guardrail_violations: u64,
+    /// Whether the configured fault actually fired.
+    pub fault_fired: bool,
+    /// Static base capacity bill (DRAM-priced slab-seconds).
+    pub base_cost_units: f64,
+    /// Leased capacity bill (CXL-priced slab-seconds, integrated).
+    pub lease_cost_units: f64,
+    /// Total bill.
+    pub cost_units: f64,
+    /// Total bill divided by requests served.
+    pub cost_per_request: f64,
+    /// Horizon, seconds.
+    pub horizon_s: f64,
+}
+
+impl ServeReport {
+    /// Worst per-tenant p99 across tenants that served anything, ms.
+    pub fn worst_p99_ms(&self) -> f64 {
+        self.tenants
+            .iter()
+            .filter_map(|t| t.p99_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst per-tenant p99-to-SLO ratio across tenants that served
+    /// anything (see [`TenantReport::slo_frac`]).
+    pub fn worst_slo_frac(&self) -> f64 {
+        self.tenants
+            .iter()
+            .filter_map(|t| t.slo_frac())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total sheds + rejections as a fraction of all arrivals.
+    pub fn drop_fraction(&self) -> f64 {
+        let arrivals: u64 = self.tenants.iter().map(|t| t.arrivals).sum();
+        if arrivals == 0 {
+            return 0.0;
+        }
+        (self.shed + self.rejected) as f64 / arrivals as f64
+    }
+}
+
+fn p99_ms(h: &Histogram) -> Option<f64> {
+    h.try_percentile(99.0).map(|us| us as f64 / 1_000.0)
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Runs one serving scenario to its horizon and reports.
+pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
+    cfg.validate();
+    let horizon = cfg.horizon();
+    let mut engine = Engine::new(ServeWorld::new(cfg));
+
+    // Materialise every tenant's trace and pre-draw request work so the
+    // offered load is a pure function of (seed, tenant name).
+    for (ti, t) in cfg.tenants.iter().enumerate() {
+        let arrivals = generate_arrivals(cfg, ti);
+        let mut work_rng = stream_rng(cfg.seed, &format!("serve.work.{}", t.name));
+        for at in arrivals {
+            let work = match t.class {
+                TenantClass::Kv {
+                    ops_per_request, ..
+                } => Work::Kv {
+                    ops: ops_per_request,
+                },
+                TenantClass::Llm {
+                    prompt_tokens,
+                    mean_output_tokens,
+                } => {
+                    // Same draw shape as the Fig. 9 serving sim: uniform
+                    // 0.5x–1.5x around the mean, at least one token.
+                    let out = (mean_output_tokens as f64 * (0.5 + work_rng.gen::<f64>())).max(1.0);
+                    Work::Llm {
+                        req: Request {
+                            prompt_tokens,
+                            output_tokens: out as u32,
+                        },
+                    }
+                }
+            };
+            engine.schedule_at(at, move |e| on_arrival(e, ti, work));
+        }
+    }
+
+    // Static provisioning: take the fixed lease up front, hold it for
+    // the whole run. A rejection here (pool too small for every tenant)
+    // is counted, not fatal — exactly the failure mode static
+    // over-subscription has in practice.
+    if cfg.autoscale.is_none() && cfg.static_lease_slabs > 0 {
+        for ti in 0..cfg.tenants.len() {
+            let w = engine.state_mut();
+            if w.set_lease(ti, cfg.static_lease_slabs).is_err() {
+                w.lease_rejected += 1;
+            }
+            if let Err(msg) = w.check_invariants() {
+                w.guardrail_violations += 1;
+                debug_assert!(false, "serve invariant violated: {msg}");
+            }
+        }
+    }
+
+    if let Some(a) = &cfg.autoscale {
+        engine.schedule_every(a.period, |e| {
+            autoscale_tick(e);
+            true
+        });
+    }
+
+    if let Some(at) = cfg.fault_at {
+        engine.schedule_at(at, |e| {
+            let now = e.now();
+            let w = e.state_mut();
+            w.clock = now;
+            w.inject_fault();
+        });
+    }
+
+    engine.run_until(horizon);
+
+    let mut w = engine.into_state();
+    w.accrue(horizon);
+
+    let horizon_s = horizon.as_secs_f64();
+    let mut base_cost_units = 0.0;
+    let tenants: Vec<TenantReport> = w
+        .tenants
+        .iter()
+        .map(|t| {
+            // Static base capacity in slab equivalents: the memory a
+            // tenant pays for whether or not it leases. KV tenants hold
+            // DRAM plus the fixed expander; LLM tenants hold their base
+            // backend instances.
+            let base_slab_equiv = match &t.backend {
+                Backend::Kv(kv) => {
+                    let dataset = match t.cfg.class {
+                        TenantClass::Kv { record_count, .. } => record_count * 1024,
+                        TenantClass::Llm { .. } => unreachable!(),
+                    };
+                    (dataset * 7 / 20 + dataset * 2 / 5) as f64 / kv.slab_bytes as f64
+                }
+                Backend::Llm(_) => t.cfg.workers as f64,
+            };
+            base_cost_units += base_slab_equiv * horizon_s * w.cfg.cost.dram_cost_per_slab_s;
+            let mut all = t.pre_hist.clone();
+            all.merge(&t.post_hist);
+            TenantReport {
+                name: t.cfg.name.clone(),
+                arrivals: t.arrivals,
+                served: t.served,
+                shed: t.shed,
+                rejected: t.rejected,
+                p99_ms: p99_ms(&all),
+                p99_pre_fault_ms: p99_ms(&t.pre_hist),
+                p99_post_fault_ms: p99_ms(&t.post_hist),
+                mean_ms: all.mean() / 1_000.0,
+                max_queue: t.max_queue,
+                peak_lease_slabs: t.peak_slabs,
+                final_lease_slabs: t.held_slabs,
+                slo_p99_ms: t.cfg.slo_p99_ms,
+            }
+        })
+        .collect();
+
+    let served: u64 = tenants.iter().map(|t| t.served).sum();
+    let shed: u64 = tenants.iter().map(|t| t.shed).sum();
+    let rejected: u64 = tenants.iter().map(|t| t.rejected).sum();
+    let cost_units = base_cost_units + w.lease_cost_units;
+    ServeReport {
+        tenants,
+        served,
+        shed,
+        rejected,
+        lease_grows: w.lease_grows,
+        lease_shrinks: w.lease_shrinks,
+        lease_rejected: w.lease_rejected,
+        guardrail_violations: w.guardrail_violations,
+        fault_fired: w.fault_fired,
+        base_cost_units,
+        lease_cost_units: w.lease_cost_units,
+        cost_units,
+        cost_per_request: if served > 0 {
+            cost_units / served as f64
+        } else {
+            f64::INFINITY
+        },
+        horizon_s,
+    }
+}

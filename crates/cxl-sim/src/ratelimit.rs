@@ -21,15 +21,22 @@ impl TokenBucket {
     /// Creates a bucket with a refill `rate_per_sec` and a `burst`
     /// capacity, starting full.
     ///
+    /// Zero is a valid configuration, not an error: admission-control
+    /// callers model a suspended tenant as `rate = 0` (the bucket never
+    /// refills once drained) or `burst = 0` (the bucket holds nothing
+    /// and every positive take fails). Neither divides by the rate
+    /// anywhere, so there is no div-by-zero or unbounded virtual-time
+    /// step to guard against.
+    ///
     /// # Panics
     ///
-    /// Panics if the rate or burst is not positive and finite.
+    /// Panics if the rate or burst is negative, NaN, or infinite.
     pub fn new(rate_per_sec: f64, burst: f64) -> Self {
         assert!(
-            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            rate_per_sec >= 0.0 && rate_per_sec.is_finite(),
             "invalid rate {rate_per_sec}"
         );
-        assert!(burst > 0.0 && burst.is_finite(), "invalid burst {burst}");
+        assert!(burst >= 0.0 && burst.is_finite(), "invalid burst {burst}");
         Self {
             rate_per_sec,
             burst,
@@ -89,13 +96,15 @@ impl TokenBucket {
     }
 
     /// Updates the refill rate (used by the dynamic threshold logic).
+    /// A rate of 0 freezes refill (tenant suspension) without touching
+    /// tokens already accrued.
     ///
     /// # Panics
     ///
-    /// Panics if the new rate is not positive and finite.
+    /// Panics if the new rate is negative, NaN, or infinite.
     pub fn set_rate(&mut self, now: SimTime, rate_per_sec: f64) {
         assert!(
-            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            rate_per_sec >= 0.0 && rate_per_sec.is_finite(),
             "invalid rate {rate_per_sec}"
         );
         self.refill(now);
@@ -116,17 +125,21 @@ impl TokenBucket {
     /// immediately; growing it never mints tokens the old rate had not
     /// already earned.
     ///
+    /// Retuning to `rate = 0` and/or `burst = 0` is the "suspend this
+    /// tenant" actuation: a zero burst forfeits all accrued tokens
+    /// immediately, a zero rate stops further accrual.
+    ///
     /// [`set_rate`]: TokenBucket::set_rate
     ///
     /// # Panics
     ///
-    /// Panics if the new rate or burst is not positive and finite.
+    /// Panics if the new rate or burst is negative, NaN, or infinite.
     pub fn retune(&mut self, now: SimTime, rate_per_sec: f64, burst: f64) {
         assert!(
-            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            rate_per_sec >= 0.0 && rate_per_sec.is_finite(),
             "invalid rate {rate_per_sec}"
         );
-        assert!(burst > 0.0 && burst.is_finite(), "invalid burst {burst}");
+        assert!(burst >= 0.0 && burst.is_finite(), "invalid burst {burst}");
         self.refill(now);
         self.rate_per_sec = rate_per_sec;
         self.burst = burst;
@@ -177,10 +190,44 @@ mod tests {
         assert!(b.try_take(SimTime::from_ms(50), 50.0));
     }
 
+    /// ISSUE 8: zero rate is a valid "suspended tenant" config — the
+    /// bucket serves its initial burst and then never refills, at any
+    /// horizon (no infinite virtual-time step, no div-by-zero).
+    #[test]
+    fn zero_rate_never_refills() {
+        let mut b = TokenBucket::new(0.0, 2.0);
+        assert!(b.try_take(SimTime::ZERO, 2.0), "initial burst is held");
+        for t in [
+            SimTime::from_ms(1),
+            SimTime::from_secs(1),
+            SimTime::from_secs(1_000_000),
+        ] {
+            assert!(!b.try_take(t, 1.0), "nothing refills at rate 0 (t = {t:?})");
+            assert_eq!(b.available(t), 0.0);
+        }
+    }
+
+    /// ISSUE 8: zero burst holds nothing and admits nothing, but a
+    /// zero-sized take still succeeds (vacuously) without panicking.
+    #[test]
+    fn zero_burst_admits_nothing() {
+        let mut b = TokenBucket::new(100.0, 0.0);
+        let t = SimTime::from_secs(10);
+        assert_eq!(b.available(t), 0.0, "refill clamps to the zero burst");
+        assert!(!b.try_take(t, 1.0));
+        assert!(b.try_take(t, 0.0), "empty take is a no-op, not a panic");
+    }
+
     #[test]
     #[should_panic(expected = "invalid rate")]
-    fn zero_rate_panics() {
-        TokenBucket::new(0.0, 1.0);
+    fn negative_rate_panics() {
+        TokenBucket::new(-1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn nan_rate_panics() {
+        TokenBucket::new(f64::NAN, 1.0);
     }
 
     #[test]
@@ -220,11 +267,25 @@ mod tests {
         assert_eq!(b.available(SimTime::ZERO), 0.0, "no free tokens");
     }
 
+    /// ISSUE 8: retuning to (0, 0) is the suspend actuation — accrued
+    /// tokens are forfeited and nothing ever comes back until retuned.
+    #[test]
+    fn retune_to_zero_suspends_and_resumes() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        b.retune(SimTime::ZERO, 0.0, 0.0);
+        assert_eq!(b.available(SimTime::from_secs(60)), 0.0);
+        assert!(!b.try_take(SimTime::from_secs(60), 1.0));
+        // Resuming: tokens accrue only from the resume instant.
+        b.retune(SimTime::from_secs(60), 10.0, 5.0);
+        assert_eq!(b.available(SimTime::from_secs(60)), 0.0, "no back-pay");
+        assert!((b.available(SimTime::from_secs(61)) - 5.0).abs() < 1e-9);
+    }
+
     #[test]
     #[should_panic(expected = "invalid burst")]
-    fn retune_rejects_zero_burst() {
+    fn retune_rejects_negative_burst() {
         let mut b = TokenBucket::new(1.0, 1.0);
-        b.retune(SimTime::ZERO, 1.0, 0.0);
+        b.retune(SimTime::ZERO, 1.0, -1.0);
     }
 
     #[test]

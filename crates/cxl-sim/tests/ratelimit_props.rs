@@ -1,0 +1,153 @@
+//! Property tests for the zero-rate / zero-capacity edges of
+//! [`cxl_sim::TokenBucket`] and [`cxl_sim::MultiServer`] (ISSUE 8).
+//!
+//! Admission control treats a budget of 0 as a valid "tenant suspended"
+//! state, so these edges must be ordinary configurations: no panic, no
+//! div-by-zero, no unbounded virtual-time step, and the conservation
+//! invariants must keep holding as the rate/burst/service collapse to 0.
+
+use cxl_sim::{MultiServer, SimTime, TokenBucket};
+use proptest::prelude::*;
+
+proptest! {
+    /// At rate 0 the bucket is a finite reservoir: total tokens ever
+    /// granted never exceed the initial burst, at any horizon.
+    #[test]
+    fn zero_rate_grants_at_most_the_burst(
+        burst in 0.0f64..100.0,
+        takes in prop::collection::vec((0u64..1_000_000, 0.0f64..10.0), 0..64),
+    ) {
+        let mut b = TokenBucket::new(0.0, burst);
+        let mut granted = 0.0f64;
+        let mut now = SimTime::ZERO;
+        for (dt_us, amount) in takes {
+            now += SimTime::from_us(dt_us);
+            if b.try_take(now, amount) {
+                granted += amount;
+            }
+        }
+        prop_assert!(granted <= burst + 1e-9, "granted {granted} > burst {burst}");
+    }
+
+    /// At burst 0 no positive take ever succeeds, regardless of rate or
+    /// elapsed virtual time; zero-sized takes succeed vacuously.
+    #[test]
+    fn zero_burst_rejects_every_positive_take(
+        rate in 0.0f64..1e9,
+        steps in prop::collection::vec(0u64..10_000_000, 1..32),
+        amount in 1e-12f64..1e6,
+    ) {
+        let mut b = TokenBucket::new(rate, 0.0);
+        let mut now = SimTime::ZERO;
+        for dt_us in steps {
+            now += SimTime::from_us(dt_us);
+            prop_assert!(!b.try_take(now, amount));
+            prop_assert!(b.try_take(now, 0.0));
+            prop_assert_eq!(b.available(now), 0.0);
+        }
+    }
+
+    /// set_rate(0) freezes the token count exactly where it was; a later
+    /// positive rate resumes accrual from the freeze point only.
+    #[test]
+    fn suspend_resume_freezes_and_accrues_forward(
+        rate in 0.1f64..1e4,
+        burst in 0.1f64..1e3,
+        drain in 0.0f64..1.0,
+        frozen_for_us in 0u64..10_000_000,
+    ) {
+        let mut b = TokenBucket::new(rate, burst);
+        prop_assert!(b.try_take(SimTime::ZERO, burst * drain));
+        let before = b.available(SimTime::ZERO);
+        b.set_rate(SimTime::ZERO, 0.0);
+        let frozen_at = SimTime::from_us(frozen_for_us);
+        prop_assert!((b.available(frozen_at) - before).abs() < 1e-9);
+        b.set_rate(frozen_at, rate);
+        let dt = SimTime::from_ms(100);
+        let expect = (before + rate * dt.as_secs_f64()).min(burst);
+        prop_assert!((b.available(frozen_at + dt) - expect).abs() < 1e-6);
+    }
+
+    /// Retune is always safe across the full [0, ∞) rate/burst quadrant:
+    /// tokens never exceed the (new) burst and never go negative.
+    #[test]
+    fn retune_keeps_tokens_in_bounds(
+        retunes in prop::collection::vec(
+            (0u64..1_000_000, 0.0f64..1e6, 0.0f64..1e3, 0.0f64..10.0),
+            1..32,
+        ),
+    ) {
+        let mut b = TokenBucket::new(10.0, 10.0);
+        let mut now = SimTime::ZERO;
+        for (dt_us, rate, burst, amount) in retunes {
+            now += SimTime::from_us(dt_us);
+            b.retune(now, rate, burst);
+            let avail = b.available(now);
+            prop_assert!((0.0..=burst + 1e-9).contains(&avail), "avail {avail} burst {burst}");
+            b.try_take(now, amount);
+            prop_assert!(b.available(now) >= 0.0);
+        }
+    }
+
+    /// Zero service times are legal in the queue: completions are
+    /// instantaneous, starts never precede arrivals, and the conservation
+    /// counters stay exact.
+    #[test]
+    fn multiserver_zero_service_is_instantaneous(
+        k in 1usize..8,
+        arrivals in prop::collection::vec(0u64..1_000_000, 1..64),
+    ) {
+        let mut q = MultiServer::new(k);
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        for &a_us in &sorted {
+            let arrival = SimTime::from_us(a_us);
+            let c = q.submit(arrival, SimTime::ZERO);
+            prop_assert!(c.start >= arrival);
+            prop_assert_eq!(c.finish, c.start, "zero service completes instantly");
+            prop_assert_eq!(c.sojourn(arrival), c.start.saturating_sub(arrival));
+        }
+        prop_assert_eq!(q.completed(), sorted.len() as u64);
+        prop_assert_eq!(q.busy_time(), SimTime::ZERO);
+        // Zero total service => zero utilization, and the zero-horizon
+        // guard itself must not divide by zero.
+        prop_assert_eq!(q.utilization(SimTime::ZERO), 0.0);
+        prop_assert_eq!(q.utilization(SimTime::from_secs(1)), 0.0);
+    }
+
+    /// Busy time is conserved (sum of submitted service) and utilization
+    /// is bounded by 1 over any horizon covering the makespan.
+    #[test]
+    fn multiserver_conserves_busy_time(
+        k in 1usize..8,
+        jobs in prop::collection::vec((0u64..100_000, 0u64..50_000), 1..64),
+    ) {
+        let mut q = MultiServer::new(k);
+        let mut total = SimTime::ZERO;
+        let mut sorted = jobs.clone();
+        sorted.sort_unstable();
+        for &(a_us, s_us) in &sorted {
+            let service = SimTime::from_us(s_us);
+            q.submit(SimTime::from_us(a_us), service);
+            total += service;
+        }
+        prop_assert_eq!(q.busy_time(), total);
+        let horizon = q.makespan().max(SimTime::from_ns(1));
+        let u = q.utilization(horizon);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+    }
+}
+
+/// Sanity outside proptest: an admission budget cycling through
+/// suspension mid-trace keeps the bucket usable (the serve layer's
+/// actual pattern).
+#[test]
+fn suspension_cycle_smoke() {
+    let mut b = TokenBucket::new(100.0, 10.0);
+    assert!(b.try_take(SimTime::from_ms(1), 5.0));
+    b.retune(SimTime::from_ms(2), 0.0, 0.0); // suspend
+    assert!(!b.try_take(SimTime::from_ms(500), 1e-9));
+    b.retune(SimTime::from_secs(1), 100.0, 10.0); // resume empty
+    assert!(!b.try_take(SimTime::from_secs(1), 1.0));
+    assert!(b.try_take(SimTime::from_ms(1_100), 1.0));
+}

@@ -132,28 +132,50 @@ impl Histogram {
         }
     }
 
-    /// Value at the given percentile in `[0, 100]`.
+    /// Value at the given percentile in `[0, 100]`, or `None` when the
+    /// histogram is empty.
     ///
-    /// Returns the representative value of the first bucket whose
-    /// cumulative count reaches the requested rank; 0 when empty.
+    /// This is the typed contract for callers where "no samples" is a
+    /// reachable state that must stay distinguishable from "p99 of 0 ns"
+    /// — e.g. an all-shed tenant in `cxl-serve` whose latency histogram
+    /// never saw a completion. Returns the representative value of the
+    /// first bucket whose cumulative count reaches the requested rank.
     ///
     /// # Panics
     ///
     /// Panics if `p` is not within `[0.0, 100.0]`.
-    pub fn percentile(&self, p: f64) -> u64 {
+    pub fn try_percentile(&self, p: f64) -> Option<u64> {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_value(idx).clamp(self.min, self.max);
+                return Some(Self::bucket_value(idx).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Value at the given percentile in `[0, 100]`; 0 when empty.
+    ///
+    /// Convenience form of [`try_percentile`] for call sites that have
+    /// already established non-emptiness (a completed run always records
+    /// at least one op). The 0-on-empty collapse is deliberate and
+    /// documented — callers where empty is reachable must use
+    /// [`try_percentile`] so an absent tail cannot masquerade as a
+    /// zero-nanosecond tail.
+    ///
+    /// [`try_percentile`]: Histogram::try_percentile
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0.0, 100.0]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.try_percentile(p).unwrap_or(0)
     }
 
     /// Merges another histogram into this one. The result is identical
@@ -225,6 +247,17 @@ impl Histogram {
             self.percentile(99.9),
         )
     }
+
+    /// Typed variant of [`tail`]: `None` when the histogram is empty.
+    ///
+    /// [`tail`]: Histogram::tail
+    pub fn try_tail(&self) -> Option<(u64, u64, u64, u64)> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.tail())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +273,32 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.percentile(99.0), 0);
         assert!(h.cdf().is_empty());
+    }
+
+    /// Regression (ISSUE 8): empty histograms must expose a typed
+    /// "no samples" answer, distinguishable from a 0 ns tail — an
+    /// all-shed serve tenant records no completions and its p99 must
+    /// not read as "instant".
+    #[test]
+    fn empty_histogram_typed_percentile() {
+        let h = Histogram::new();
+        assert_eq!(h.try_percentile(50.0), None);
+        assert_eq!(h.try_percentile(99.0), None);
+        assert_eq!(h.try_tail(), None);
+        // The lossy convenience form still collapses to 0, documented.
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn try_percentile_agrees_with_percentile_when_nonempty() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 3);
+        }
+        for p in [0.0, 1.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.try_percentile(p), Some(h.percentile(p)), "p = {p}");
+        }
+        assert_eq!(h.try_tail(), Some(h.tail()));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`report`] — plain-text table and series rendering for the benchmark
 //!   binaries that regenerate the paper's tables and figures.
 //! * [`chart`] — ASCII line charts so figure shapes render in a terminal.
+//! * [`quantile`] — the audited nearest-rank quantile shared by every
+//!   sizing/SLO computation (one rank convention, no per-crate copies).
 //! * [`rng`] — deterministic seed derivation so every experiment is
 //!   reproducible from a single root seed.
 //! * [`select`] — shared argmin/argmax scans with a pinned first-wins
@@ -21,6 +23,7 @@
 pub mod chart;
 pub mod dist;
 pub mod histogram;
+pub mod quantile;
 pub mod report;
 pub mod rng;
 pub mod select;
@@ -28,5 +31,6 @@ pub mod summary;
 
 pub use dist::{Exponential, KeyChooser, Latest, Normal, ScrambledZipfian, Uniform, Zipfian};
 pub use histogram::Histogram;
+pub use quantile::nearest_rank;
 pub use select::{argmax_by, argmin_by};
 pub use summary::Summary;

@@ -1,0 +1,133 @@
+//! Nearest-rank quantiles over sorted slices.
+//!
+//! Three call sites grew identical private copies of this function
+//! (`cxl-cost` pooling sizing, `cxl-pool` demand-trace percentiles, and
+//! the pool simulator's ideal-pool bound); this module is the single
+//! audited implementation they all share.
+//!
+//! ## Rank convention
+//!
+//! For a sorted slice of `n` samples and a quantile `p` in `[0, 1]`,
+//! the nearest-rank definition takes the `ceil(p * n)`-th smallest
+//! sample (1-based), clamped to `[1, n]`:
+//!
+//! * `p -> 0` clamps to rank 1 — the minimum, never an out-of-bounds
+//!   rank 0 (the low-boundary off-by-one the `- 1` index form invites).
+//! * `p = 1.0` gives `ceil(n) = n` — the maximum, with the clamp
+//!   guarding the float edge where `1.0 * n` rounds just above `n`.
+//! * A 1-element slice returns that element for every `p`.
+//!
+//! The alternative `floor(p * n)` convention is biased low: at `p =
+//! 0.5, n = 10` it picks the 5th sample where nearest-rank picks the
+//! 5th *only* via `ceil(5.0) = 5` agreeing; at `p = 0.51` floor still
+//! says 5 while the nearest-rank answer is 6. All historical callers
+//! used the `ceil` form, so unifying here changes no results.
+
+/// Nearest-rank quantile of an ascending-sorted slice, `p` in `[0, 1]`.
+///
+/// Returns the `ceil(p * n)`-th smallest element (1-based, clamped to
+/// `[1, n]`), i.e. the smallest sample such that at least a `p`
+/// fraction of the data is `<=` it.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is not within `[0, 1]`. Callers
+/// with possibly-empty data should branch before calling (an empty
+/// sample set has no quantiles; inventing one here would silently
+/// poison sizing math downstream).
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(
+        !sorted.is_empty(),
+        "nearest_rank of an empty slice is undefined"
+    );
+    assert!((0.0..=1.0).contains(&p), "quantile out of range: {p}");
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_zero_is_minimum() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn p_one_is_maximum() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn tiny_p_clamps_to_rank_one() {
+        // ceil(1e-12 * 4) = 1: the low boundary never indexes rank 0.
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&v, 1e-12), 1.0);
+    }
+
+    #[test]
+    fn p_just_below_one_is_still_maximum_rank() {
+        // ceil(0.9999 * 4) = 4 — not n - 1; the ceil form rounds the
+        // high boundary up, not down.
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&v, 0.9999), 4.0);
+    }
+
+    #[test]
+    fn single_element_for_every_p() {
+        for p in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(nearest_rank(&[7.0], p), 7.0, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn median_of_even_slice_is_lower_middle() {
+        // ceil(0.5 * 4) = 2: nearest-rank takes the lower-middle
+        // element, it does not interpolate.
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    fn interior_ranks_follow_ceil() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(nearest_rank(&v, 0.2), 10.0); // ceil(1.0) = 1
+        assert_eq!(nearest_rank(&v, 0.21), 20.0); // ceil(1.05) = 2
+        assert_eq!(nearest_rank(&v, 0.8), 40.0); // ceil(4.0) = 4
+        assert_eq!(nearest_rank(&v, 0.81), 50.0); // ceil(4.05) = 5
+    }
+
+    #[test]
+    fn matches_former_cxl_cost_private_copy() {
+        // The exact expression `cxl-cost/src/pooling.rs::quantile` used
+        // before unification — pinned bit-identical over a seeded grid.
+        fn legacy(sorted: &[f64], q: f64) -> f64 {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        }
+        use rand::Rng;
+        let mut rng = crate::rng::stream_rng(17, "quantile-pin");
+        for n in [1usize, 2, 3, 7, 100, 1001] {
+            let mut v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+            v.sort_by(f64::total_cmp);
+            for p in [1e-9, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                assert_eq!(nearest_rank(&v, p).to_bits(), legacy(&v, p).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn empty_slice_panics() {
+        nearest_rank(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn out_of_range_p_panics() {
+        nearest_rank(&[1.0], 1.5);
+    }
+}

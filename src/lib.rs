@@ -16,6 +16,7 @@ pub use cxl_mlc as mlc;
 pub use cxl_obs as obs;
 pub use cxl_perf as perf;
 pub use cxl_pool as pool;
+pub use cxl_serve as serve;
 pub use cxl_sim as sim;
 pub use cxl_spark as spark;
 pub use cxl_stats as stats;

@@ -6,7 +6,7 @@
 //! by one ulp fails the test.
 
 use cxl_repro::core_api::experiments::{
-    autotune, balancer, colocation, keydb, latency, llm, slo, spark, vm,
+    autotune, balancer, colocation, keydb, latency, llm, serve, slo, spark, vm,
 };
 use cxl_repro::core_api::{CapacityConfig, Runner};
 
@@ -122,6 +122,22 @@ fn autotune_parallel_matches_serial() {
     let a = autotune::run_with(&Runner::new(1), params);
     let b = autotune::run_with(&Runner::new(8), params);
     assert_bit_identical(&a, &b, "autotune");
+}
+
+#[test]
+fn serve_parallel_matches_serial() {
+    // The serving front end materializes every arrival trace and output
+    // draw from labelled streams before the engine runs, so the whole
+    // open-loop study — admission, dispatch, autoscaled leases, the
+    // mid-peak fault — must be bit-identical under any worker count.
+    let params = serve::ServeParams {
+        phase_ms: 600,
+        autoscale_period_ms: 60,
+        ..serve::ServeParams::smoke()
+    };
+    let a = serve::run_with(&Runner::new(1), params);
+    let b = serve::run_with(&Runner::new(8), params);
+    assert_bit_identical(&a, &b, "serve");
 }
 
 #[test]

@@ -1,0 +1,74 @@
+//! End-to-end serving dynamics: the `cxl-serve` open-loop front end
+//! driven through the umbrella crate, checking the acceptance gates the
+//! `serve_dynamics` bench relies on — adaptive leasing beats static
+//! provisioning on both SLO-normalized p99 and cost-per-request, the
+//! SLO holds through the mid-peak expander fault, admission sheds only
+//! under overload, and the whole study is bit-identical across worker
+//! counts.
+
+use cxl_repro::core_api::experiments::serve::{run_with, ServeParams};
+use cxl_repro::core_api::runner::Runner;
+
+#[test]
+fn adaptive_beats_static_and_holds_slo_through_the_fault() {
+    let study = run_with(&Runner::new(4), ServeParams::smoke());
+
+    // The headline: on the identical trace, autoscaled leases win both
+    // axes against the static lease sized for the diurnal peak.
+    assert!(
+        study.adaptive_beats_on_both("static-peak"),
+        "adaptive p99/slo {:.3} vs {:.3}, cost/req {:.5} vs {:.5}",
+        study.worst_slo_frac("adaptive"),
+        study.worst_slo_frac("static-peak"),
+        study.adaptive().report.cost_per_request,
+        study.cell("static-peak").report.cost_per_request
+    );
+
+    // SLO-aware admission + panic leasing hold every tenant's p99
+    // under its SLO even through the fault; static cells do not.
+    let adaptive = &study.adaptive().report;
+    assert!(
+        adaptive.worst_slo_frac() < 1.0,
+        "adaptive blew an SLO: p99/slo {:.3}",
+        adaptive.worst_slo_frac()
+    );
+    assert!(study.worst_slo_frac("static-lean") > 1.0);
+    assert!(study.worst_slo_frac("static-peak") > 1.0);
+
+    // Nominal load is never dropped: the admission budgets are sized
+    // for the trace, so sheds/rejects at nominal would be a bug.
+    assert_eq!(adaptive.shed, 0, "nominal load shed");
+    assert_eq!(adaptive.rejected, 0, "nominal load rejected");
+
+    // The same budgets engage under multiplied offered load.
+    let overload = &study.cell("overload").report;
+    assert!(overload.shed > 0, "overload never tripped the token budget");
+    assert!(overload.rejected > 0, "overload never filled a queue");
+    assert!(overload.drop_fraction() > 0.0);
+
+    // The autoscaler's lease lifecycle: grows on the ramp/fault,
+    // releases on the night trough, never violates the plant contract.
+    assert!(adaptive.lease_grows > 0, "autoscaler never leased");
+    assert!(
+        adaptive.lease_shrinks > 0,
+        "autoscaler never released on the trough"
+    );
+    assert_eq!(study.total_guardrail_violations(), 0);
+    for cell in &study.cells {
+        assert!(cell.report.fault_fired, "{}: fault never fired", cell.label);
+    }
+}
+
+#[test]
+fn sweep_is_bit_identical_across_worker_counts() {
+    let params = ServeParams {
+        phase_ms: 600,
+        autoscale_period_ms: 60,
+        ..ServeParams::smoke()
+    };
+    let a = run_with(&Runner::new(1), params);
+    let b = run_with(&Runner::new(8), params);
+    let aj = serde_json::to_string(&a).unwrap();
+    let bj = serde_json::to_string(&b).unwrap();
+    assert_eq!(aj, bj, "--jobs 1 and --jobs 8 must agree bit-for-bit");
+}
