@@ -59,6 +59,13 @@ fn bench_speed(c: &mut Criterion) {
         b.iter(|| black_box(speed::fig5_slice(10_000, 8_000, 20_000)))
     });
 
+    // Managed-heap macro slice: a DRAM-lean storm-prone cell (12k-
+    // object graph, two GC traces) end-to-end — graph generation,
+    // mutator chases, trace sweeps, epoch repricing.
+    g.bench_function("heap_gc_slice", |b| {
+        b.iter(|| black_box(speed::heap_gc_slice(12_000, 2)))
+    });
+
     // Open-loop arrival materialization: one bursty diurnal tenant at
     // 50k rps over 8 phases (~200k piecewise-Poisson draws), the
     // pre-engine trace-generation slice of the serving front end.

@@ -52,6 +52,7 @@ fn run_at_limit(limit_bytes_per_sec: f64) -> (f64, u64, u64) {
         promote_rate_limit_bytes_per_sec: limit_bytes_per_sec,
         dynamic_threshold: false,
         adjust_period: SimTime::from_ms(100),
+        promote_after_faults: 1,
     });
     let mut store = KvStore::new(&topo, tier, kv, false);
     store.run(Workload::C, 200_000); // Warm-up / convergence window.

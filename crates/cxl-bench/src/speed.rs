@@ -393,3 +393,48 @@ pub fn arrival_gen_slice(rate_rps: f64, phases: usize) -> usize {
     };
     cxl_serve::arrival::generate_arrivals(&cfg, 0).len()
 }
+
+/// One DRAM-lean managed-heap cell end-to-end (graph generation,
+/// mutator chases with nursery churn, GC traces, epoch repricing):
+/// the `cxl-heap` slice of the trajectory, dominated by per-touch
+/// tier-manager work on a storm-prone configuration.
+pub fn heap_gc_slice(old_objects: u32, gc_cycles: u32) -> u64 {
+    use cxl_heap::{GraphConfig, HeapParams, HeapWorkload, ObjectGraph};
+    use cxl_sim::SimTime;
+    use cxl_tier::{AllocPolicy, HotPageConfig, MigrationMode, NumaBalancingConfig, TierConfig};
+    const DRAM0: NodeId = NodeId(0);
+    const CXL0: NodeId = NodeId(2);
+    let params = HeapParams {
+        graph: GraphConfig {
+            old_objects,
+            young_objects: old_objects / 8,
+            ..GraphConfig::default()
+        },
+        gc_cycles,
+        mutator_ops_per_cycle: 10_000,
+        hot_bias: 0.99,
+        ..HeapParams::default()
+    };
+    let g = ObjectGraph::build(&params.graph, 4096, params.seed);
+    let heap_pages = u64::from(g.page_count) + params.nursery_pages + 16;
+    let mut cfg = TierConfig::bind(vec![DRAM0]);
+    cfg.policy = AllocPolicy::interleave(vec![DRAM0], vec![CXL0], 1, 3);
+    cfg.capacity_override = vec![
+        (DRAM0, heap_pages * 2 / 5 * cfg.page_size),
+        (NodeId(1), 0),
+        (CXL0, 2 * heap_pages * cfg.page_size),
+        (NodeId(3), 0),
+    ];
+    cfg.migration = MigrationMode::HotPageSelection(HotPageConfig {
+        balancing: NumaBalancingConfig {
+            scan_period: SimTime::from_ms(8),
+            scan_pages: 8192,
+            hot_threshold: SimTime::from_ms(12),
+            hint_fault_cost: SimTime::from_ns(300),
+        },
+        ..Default::default()
+    });
+    let topo = Topology::paper_testbed(SncMode::Disabled);
+    let report = HeapWorkload::new(&topo, cfg, params, false, None).run();
+    report.objects_traced + report.tier.promotions + report.mutator.count()
+}

@@ -54,3 +54,12 @@ fn fig5_slice_produces_throughput() {
         "fig5 slice throughput: {tput}"
     );
 }
+
+#[test]
+fn heap_gc_slice_runs_and_is_deterministic() {
+    let a = speed::heap_gc_slice(3_000, 1);
+    let b = speed::heap_gc_slice(3_000, 1);
+    assert_eq!(a, b, "heap slice must be deterministic");
+    // objects_traced > 0 folds in: the trace actually swept the heap.
+    assert!(a > 3_000, "heap slice did no work: {a}");
+}

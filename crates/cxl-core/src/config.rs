@@ -163,6 +163,7 @@ pub fn hot_promote_params() -> HotPageConfig {
         promote_rate_limit_bytes_per_sec: 4e9,
         dynamic_threshold: false,
         adjust_period: SimTime::from_ms(100),
+        promote_after_faults: 1,
     }
 }
 

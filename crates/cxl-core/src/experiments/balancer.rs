@@ -201,6 +201,7 @@ fn hot_cfg() -> HotPageConfig {
         promote_rate_limit_bytes_per_sec: 4e9,
         dynamic_threshold: false,
         adjust_period: SimTime::from_ms(100),
+        promote_after_faults: 1,
     }
 }
 

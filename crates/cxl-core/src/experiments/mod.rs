@@ -18,6 +18,7 @@
 //! | [`fleet`] | ROADMAP item 2: multi-rack pooling over a rack/spine fabric with path-priced leases |
 //! | [`autotune`] | Online adaptive control (`cxl-ctl`) vs every static config on a phased trace |
 //! | [`serve`] | Open-loop multi-tenant serving (`cxl-serve`): adaptive leases vs static provisioning on a diurnal trace with a mid-run fault |
+//! | [`heap`] | Managed-heap GC on tiered memory (`cxl-heap`): promotion storms vs storm-aware promotion and generational segregation |
 
 pub mod autotune;
 pub mod balancer;
@@ -26,6 +27,7 @@ pub mod cost;
 pub mod error;
 pub mod faults;
 pub mod fleet;
+pub mod heap;
 pub mod keydb;
 pub mod latency;
 pub mod llm;

@@ -1,0 +1,356 @@
+//! Seeded object-graph generation: sized object classes packed
+//! region-by-region onto pages, plus a pointer structure with
+//! configurable out-degree, fan-in skew, and old→young edges.
+//!
+//! The graph is pure data — no tier manager involved — so generation
+//! determinism can be tested in isolation. [`ObjectGraph::build`] is a
+//! pure function of `(config, page_size, seed)`; the workload layer
+//! maps the graph's dense page indices onto `cxl-tier` pages in index
+//! order, preserving the clustering.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::Serialize;
+
+/// One object size class with a selection weight (a coarse stand-in
+/// for a runtime's size-class histogram).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ObjectClass {
+    /// Object size in bytes (header + fields).
+    pub size_bytes: u32,
+    /// Relative selection weight.
+    pub weight: u32,
+}
+
+/// Shape of the generated heap.
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphConfig {
+    /// Objects in the old (tenured) generation, allocated first.
+    pub old_objects: u32,
+    /// Surviving young-generation objects, allocated after the old
+    /// region (the nursery churn on top of these is the workload
+    /// layer's job).
+    pub young_objects: u32,
+    /// Size classes; must be non-empty with positive weights.
+    pub classes: Vec<ObjectClass>,
+    /// Mean extra out-edges per object on top of the spanning edge
+    /// that keeps every object reachable (degree is drawn uniformly
+    /// from `0..=2*mean`).
+    pub mean_out_degree: f64,
+    /// Objects per allocation region; in-region edges model the
+    /// locality of objects allocated together.
+    pub region_objects: u32,
+    /// Fraction of extra edges that stay inside the source's region.
+    pub cluster_locality: f64,
+    /// Fraction of old objects' non-local edges that cross into the
+    /// young generation (remembered-set pressure).
+    pub old_to_young_fraction: f64,
+    /// GC roots: the first `root_count` old objects.
+    pub root_count: u32,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        Self {
+            old_objects: 60_000,
+            young_objects: 6_000,
+            classes: vec![
+                // Small/medium/large split loosely after managed-heap
+                // size-class surveys: mostly small objects, a thin
+                // tail of kilobyte-scale arrays.
+                ObjectClass {
+                    size_bytes: 32,
+                    weight: 12,
+                },
+                ObjectClass {
+                    size_bytes: 256,
+                    weight: 6,
+                },
+                ObjectClass {
+                    size_bytes: 2048,
+                    weight: 1,
+                },
+            ],
+            mean_out_degree: 2.0,
+            region_objects: 512,
+            cluster_locality: 0.6,
+            old_to_young_fraction: 0.15,
+            root_count: 64,
+        }
+    }
+}
+
+impl GraphConfig {
+    /// Total objects (old + young survivors).
+    pub fn object_count(&self) -> u32 {
+        self.old_objects + self.young_objects
+    }
+
+    /// Panics on an unusable configuration (empty generations or
+    /// classes, zero-sized regions, fractions outside `[0, 1]`).
+    pub fn validate(&self) {
+        assert!(self.old_objects > 0, "old generation is empty");
+        assert!(!self.classes.is_empty(), "no object classes");
+        assert!(
+            self.classes
+                .iter()
+                .all(|c| c.size_bytes > 0 && c.weight > 0),
+            "classes need positive sizes and weights"
+        );
+        assert!(self.region_objects > 0, "region_objects must be nonzero");
+        assert!(
+            (0.0..=1.0).contains(&self.cluster_locality)
+                && (0.0..=1.0).contains(&self.old_to_young_fraction),
+            "edge fractions must lie in [0, 1]"
+        );
+        assert!(
+            self.root_count > 0 && self.root_count <= self.old_objects,
+            "roots must be a non-empty prefix of the old generation"
+        );
+        assert!(self.mean_out_degree >= 0.0);
+    }
+}
+
+/// The generated heap: per-object placement plus a CSR adjacency.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObjectGraph {
+    /// Page index (dense, from 0) holding each object's header.
+    pub first_page: Vec<u32>,
+    /// CSR row offsets into `edges`; length `object_count + 1`.
+    pub edge_index: Vec<u32>,
+    /// Flat out-edge targets.
+    pub edges: Vec<u32>,
+    /// Ids at or above this are young-generation objects.
+    pub young_start: u32,
+    /// Pages the heap spans.
+    pub page_count: u32,
+    /// Total object bytes.
+    pub total_bytes: u64,
+    /// GC roots: ids `0..roots`.
+    pub roots: u32,
+}
+
+/// Draws a target id in `0..n` with quadratic skew toward low ids, so
+/// a small set of objects accumulates most of the fan-in (the shared
+/// interned/cache objects whose mark-bit checks a trace repeats).
+fn skewed_target(rng: &mut SmallRng, n: u32) -> u32 {
+    let r: f64 = rng.gen();
+    ((r * r * n as f64) as u32).min(n - 1)
+}
+
+impl ObjectGraph {
+    /// Generates a heap. Pure in `(cfg, page_size, seed)`.
+    ///
+    /// Every object is reachable from the roots: object `i > 0` gets a
+    /// spanning edge from an earlier object in its neighbourhood (its
+    /// allocator, in runtime terms), so the trace's cold tail is the
+    /// whole heap, not a lucky subset.
+    pub fn build(cfg: &GraphConfig, page_size: u64, seed: u64) -> Self {
+        cfg.validate();
+        let n = cfg.object_count();
+        let mut rng = cxl_stats::rng::stream_rng(seed, "heap/graph");
+        let weight_sum: u64 = cfg.classes.iter().map(|c| c.weight as u64).sum();
+
+        // Bump-allocate objects in id order; an object is attributed to
+        // the page holding its header (field reads land there — the
+        // cache-line-granular tail of large objects is second-order for
+        // page-level tiering).
+        let mut first_page = Vec::with_capacity(n as usize);
+        let mut offset = 0u64;
+        for _ in 0..n {
+            let mut pick = rng.gen_range(0..weight_sum);
+            let mut size = cfg.classes[0].size_bytes;
+            for c in &cfg.classes {
+                if pick < c.weight as u64 {
+                    size = c.size_bytes;
+                    break;
+                }
+                pick -= c.weight as u64;
+            }
+            first_page.push((offset / page_size) as u32);
+            offset += size as u64;
+        }
+        let page_count = offset.div_ceil(page_size) as u32;
+
+        // Edge list in deterministic generation order, then a counting
+        // sort into CSR form (stable, so per-source edge order is the
+        // generation order).
+        let old = cfg.old_objects;
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let max_extra = (2.0 * cfg.mean_out_degree).round() as u32;
+        for i in 0..n {
+            if i > 0 {
+                // Spanning edge: a nearby earlier object points here.
+                let lo = i.saturating_sub(cfg.region_objects);
+                pairs.push((rng.gen_range(lo..i), i));
+            }
+            let extra = if max_extra == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_extra)
+            };
+            let (gen_start, gen_len) = if i < old { (0, old) } else { (old, n - old) };
+            let region_start =
+                gen_start + (i - gen_start) / cfg.region_objects * cfg.region_objects;
+            let region_end = (region_start + cfg.region_objects).min(gen_start + gen_len);
+            for _ in 0..extra {
+                let target = if rng.gen_bool(cfg.cluster_locality) {
+                    rng.gen_range(region_start..region_end)
+                } else if i < old && n > old && rng.gen_bool(cfg.old_to_young_fraction) {
+                    old + skewed_target(&mut rng, n - old)
+                } else {
+                    // Fan-in-skewed draw within the whole heap for young
+                    // sources, within the old generation for old ones.
+                    if i < old {
+                        skewed_target(&mut rng, old)
+                    } else {
+                        skewed_target(&mut rng, n)
+                    }
+                };
+                pairs.push((i, target));
+            }
+        }
+
+        let mut counts = vec![0u32; n as usize + 1];
+        for &(src, _) in &pairs {
+            counts[src as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let edge_index = counts.clone();
+        let mut edges = vec![0u32; pairs.len()];
+        let mut cursor = counts;
+        for &(src, dst) in &pairs {
+            edges[cursor[src as usize] as usize] = dst;
+            cursor[src as usize] += 1;
+        }
+
+        Self {
+            first_page,
+            edge_index,
+            edges,
+            young_start: old,
+            page_count,
+            total_bytes: offset,
+            roots: cfg.root_count,
+        }
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> u32 {
+        self.first_page.len() as u32
+    }
+
+    /// Out-edges of an object.
+    pub fn out_edges(&self, id: u32) -> &[u32] {
+        &self.edges
+            [self.edge_index[id as usize] as usize..self.edge_index[id as usize + 1] as usize]
+    }
+
+    /// True for young-generation objects.
+    pub fn is_young(&self, id: u32) -> bool {
+        id >= self.young_start
+    }
+
+    /// Deterministic BFS order over the reachable graph (the GC trace's
+    /// visit order): roots in id order, then CSR edge order, each
+    /// object once.
+    pub fn trace_order(&self) -> Vec<u32> {
+        let n = self.object_count() as usize;
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        for r in 0..self.roots {
+            if !visited[r as usize] {
+                visited[r as usize] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for &t in self.out_edges(id) {
+                if !visited[t as usize] {
+                    visited[t as usize] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GraphConfig {
+        GraphConfig {
+            old_objects: 2_000,
+            young_objects: 400,
+            region_objects: 128,
+            root_count: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = ObjectGraph::build(&small(), 4096, 7);
+        let b = ObjectGraph::build(&small(), 4096, 7);
+        assert_eq!(a.first_page, b.first_page);
+        assert_eq!(a.edges, b.edges);
+        let c = ObjectGraph::build(&small(), 4096, 8);
+        assert_ne!(a.edges, c.edges, "seed must matter");
+    }
+
+    #[test]
+    fn every_object_is_reachable() {
+        let g = ObjectGraph::build(&small(), 4096, 1);
+        assert_eq!(g.trace_order().len(), g.object_count() as usize);
+    }
+
+    #[test]
+    fn trace_order_is_deterministic_and_complete() {
+        let g = ObjectGraph::build(&small(), 4096, 3);
+        let t1 = g.trace_order();
+        let t2 = g.trace_order();
+        assert_eq!(t1, t2);
+        let mut sorted = t1.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), g.object_count() as usize, "no repeats");
+    }
+
+    #[test]
+    fn pages_are_region_clustered() {
+        let g = ObjectGraph::build(&small(), 4096, 2);
+        // Bump allocation in id order ⇒ first_page is monotone.
+        assert!(g.first_page.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            g.page_count,
+            g.total_bytes.div_ceil(4096) as u32,
+            "page span matches total bytes"
+        );
+    }
+
+    #[test]
+    fn old_to_young_edges_exist_and_point_forward() {
+        let g = ObjectGraph::build(&small(), 4096, 5);
+        let cross = (0..g.young_start)
+            .flat_map(|i| g.out_edges(i).iter().copied())
+            .filter(|&t| t >= g.young_start)
+            .count();
+        assert!(cross > 0, "expected some old→young edges");
+    }
+
+    #[test]
+    #[should_panic(expected = "roots")]
+    fn zero_roots_rejected() {
+        let cfg = GraphConfig {
+            root_count: 0,
+            ..small()
+        };
+        ObjectGraph::build(&cfg, 4096, 1);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Deterministic managed-runtime heap workload over tiered memory.
+//!
+//! A reproduction-side stand-in for the garbage-collected services
+//! (KeyDB-like caches, JVM/Go backends) the paper places on ASIC CXL
+//! expanders: most of a managed heap is cold tenured data that tiering
+//! happily parks in far memory — until the collector's trace phase
+//! sweeps *every* live page in a tight window. To a recency-based
+//! hot-page policy that sweep is indistinguishable from a working-set
+//! shift, so it answers with a **promotion storm** that evicts the
+//! mutator's genuinely hot pages and burns migration bandwidth right
+//! when the runtime is paused.
+//!
+//! The crate has two layers:
+//!
+//! - [`graph`]: pure, seeded object-graph generation — sized object
+//!   classes bump-allocated region-by-region onto pages, a spanning
+//!   edge per object guaranteeing full reachability, fan-in skew, and
+//!   old→young pointers.
+//! - [`workload`]: the phase machine driven as `cxl-sim` events — a
+//!   pointer-chasing mutator with nursery allocation churn, a
+//!   stop-the-world BFS trace per GC cycle, epoch repricing through
+//!   `cxl-perf`, and an optional mid-trace expander failure.
+//!
+//! Everything is bit-deterministic in the seed; runs under a parallel
+//! study runner must produce identical reports at any job count.
+
+pub mod graph;
+pub mod workload;
+
+pub use graph::{GraphConfig, ObjectClass, ObjectGraph};
+pub use workload::{FaultPlan, HeapParams, HeapReport, HeapWorkload};

@@ -947,6 +947,7 @@ mod tests {
             promote_rate_limit_bytes_per_sec: 4e9,
             dynamic_threshold: false,
             adjust_period: SimTime::from_ms(100),
+            promote_after_faults: 1,
         });
         KvStore::new(&topo(), tc, cfg, false)
     }

@@ -148,9 +148,16 @@ pub struct TierManager {
     next_scan: SimTime,
     promo_bucket: Option<TokenBucket>,
     hot_threshold: SimTime,
+    promote_after_faults: u32,
     promo_candidates_period: u64,
     next_adjust: SimTime,
     epoch: TrafficEpoch,
+    /// Per-node application byte accumulators (indexed by node id),
+    /// folded into `epoch` on drain. Touching is the hottest path in
+    /// the workspace; a dense array add beats a `BTreeMap` entry walk
+    /// per access by an order of magnitude.
+    node_reads: Vec<u64>,
+    node_writes: Vec<u64>,
     stats: TierStats,
     /// Last reported DRAM bandwidth utilization (set by the application
     /// layer from the performance model each epoch; §5.3 policy input).
@@ -224,24 +231,29 @@ impl TierManager {
                 low.iter().try_for_each(check)?;
             }
         }
-        let (promo_bucket, hot_threshold) = match &cfg.migration {
+        let (promo_bucket, hot_threshold, promote_after_faults) = match &cfg.migration {
             MigrationMode::HotPageSelection(h)
             | MigrationMode::BandwidthAware(crate::migration::BandwidthAwareConfig {
                 base: h,
                 ..
-            }) => (
-                Some(TokenBucket::new(
-                    h.promote_rate_limit_bytes_per_sec,
-                    // One-second burst, like the kernel's per-interval budget.
-                    h.promote_rate_limit_bytes_per_sec,
-                )),
-                h.balancing.hot_threshold,
-            ),
-            MigrationMode::NumaBalancing(b) => (None, b.hot_threshold),
-            MigrationMode::None => (None, SimTime::ZERO),
+            }) => {
+                h.validate()?;
+                (
+                    Some(TokenBucket::new(
+                        h.promote_rate_limit_bytes_per_sec,
+                        // One-second burst, like the kernel's per-interval budget.
+                        h.promote_rate_limit_bytes_per_sec,
+                    )),
+                    h.balancing.hot_threshold,
+                    h.promote_after_faults,
+                )
+            }
+            MigrationMode::NumaBalancing(b) => (None, b.hot_threshold, 1),
+            MigrationMode::None => (None, SimTime::ZERO, 1),
         };
         let rings = vec![VecDeque::new(); nodes.len()];
         let cursor = PolicyCursor::new(cfg.policy.clone());
+        let node_count = nodes.len();
         Ok(Self {
             cfg,
             nodes,
@@ -252,13 +264,27 @@ impl TierManager {
             next_scan: SimTime::ZERO,
             promo_bucket,
             hot_threshold,
+            promote_after_faults,
             promo_candidates_period: 0,
             next_adjust: SimTime::ZERO,
             epoch: TrafficEpoch::default(),
+            node_reads: vec![0; node_count],
+            node_writes: vec![0; node_count],
             stats: TierStats::default(),
             dram_bw_util: 0.0,
             trace: None,
         })
+    }
+
+    /// Records an application access into the per-node accumulators.
+    /// Folded into the public [`TrafficEpoch`] on [`Self::drain_epoch`].
+    #[inline]
+    fn record_node_access(&mut self, node: NodeId, bytes: u64, is_write: bool) {
+        if is_write {
+            self.node_writes[node.0] += bytes;
+        } else {
+            self.node_reads[node.0] += bytes;
+        }
     }
 
     /// Enables event tracing with a bounded ring of `capacity` events.
@@ -443,6 +469,45 @@ impl TierManager {
         Ok(())
     }
 
+    /// The configured promotion fault-streak requirement, when a
+    /// rate-limited migration mode is active.
+    pub fn promote_after_faults(&self) -> Option<u32> {
+        match &self.cfg.migration {
+            MigrationMode::HotPageSelection(_) | MigrationMode::BandwidthAware(_) => {
+                Some(self.promote_after_faults)
+            }
+            _ => None,
+        }
+    }
+
+    /// Retunes the promotion fault-streak requirement at runtime — the
+    /// storm-aware knob: raising it mid-run (say before a known GC
+    /// cycle) filters one-shot trace sweeps without rebuilding the
+    /// manager. Accrued per-page streaks are kept; only the bar moves.
+    ///
+    /// Errors (leaving everything unchanged) when no rate-limited
+    /// migration mode is active or `n` is zero (which would silently
+    /// disable promotion; see [`crate::HotPageConfig::validate`]).
+    pub fn set_promote_after_faults(&mut self, n: u32) -> Result<(), TierError> {
+        let h = match &mut self.cfg.migration {
+            MigrationMode::HotPageSelection(h) => h,
+            MigrationMode::BandwidthAware(b) => &mut b.base,
+            _ => {
+                return Err(TierError::WrongPolicy(
+                    "set_promote_after_faults requires a rate-limited migration mode",
+                ))
+            }
+        };
+        let candidate = crate::migration::HotPageConfig {
+            promote_after_faults: n,
+            ..*h
+        };
+        candidate.validate()?;
+        *h = candidate;
+        self.promote_after_faults = n;
+        Ok(())
+    }
+
     /// The configured bandwidth-aware demote batch (pages per tick
     /// while DRAM is over the high watermark), when that mode is active.
     pub fn demote_batch(&self) -> Option<usize> {
@@ -499,6 +564,28 @@ impl TierManager {
         (0..n).map(|_| self.alloc(now)).collect()
     }
 
+    /// Allocates one page preferring `node`, falling back to the
+    /// configured policy (and SSD spill, if enabled) when it is full.
+    ///
+    /// This is the segregation hook for allocators that know more than
+    /// the global policy does — a generational runtime binding its
+    /// nursery to DRAM and the tenured region to the expander, say —
+    /// without the caller having to juggle two managers over one
+    /// topology.
+    ///
+    /// Errors with [`TierError::UnknownNode`] on an out-of-range node;
+    /// otherwise fails only as [`TierManager::alloc`] does, reported as
+    /// [`TierError::OutOfMemory`].
+    pub fn alloc_preferring(&mut self, node: NodeId, now: SimTime) -> Result<PageId, TierError> {
+        if node.0 >= self.nodes.len() {
+            return Err(TierError::UnknownNode(node));
+        }
+        if self.has_room(node) {
+            return Ok(self.place_new_page(node, now));
+        }
+        self.alloc(now).map_err(TierError::OutOfMemory)
+    }
+
     fn has_room(&self, node: NodeId) -> bool {
         let n = &self.nodes[node.0];
         n.used_pages < n.capacity_pages
@@ -542,7 +629,7 @@ impl TierManager {
         debug_assert!(!self.pages[idx].freed, "touch of freed {page:?}");
         let location = self.pages[idx].location;
         match location {
-            Location::Node(node) => self.epoch.record_access(node, bytes, rw.is_write()),
+            Location::Node(node) => self.record_node_access(node, bytes, rw.is_write()),
             Location::Ssd => self.epoch.record_ssd(bytes, rw.is_write()),
         }
         let meta = &mut self.pages[idx];
@@ -635,7 +722,7 @@ impl TierManager {
                 // Fast path: mirror `touch` up to its early return.
                 let location = self.pages[idx].location;
                 match location {
-                    Location::Node(node) => self.epoch.record_access(node, bytes, rw.is_write()),
+                    Location::Node(node) => self.record_node_access(node, bytes, rw.is_write()),
                     Location::Ssd => self.epoch.record_ssd(bytes, rw.is_write()),
                 }
                 let meta = &mut self.pages[idx];
@@ -663,8 +750,19 @@ impl TierManager {
         let recent =
             prev_fault != SimTime::MAX && now.saturating_sub(prev_fault) <= self.hot_threshold;
         if !recent {
+            self.pages[page.0 as usize].fault_streak = 0;
             self.stats.promotions_not_hot += 1;
             cxl_obs::counter_add("tier/promotions_not_hot", 1);
+            return false;
+        }
+        let streak = {
+            let meta = &mut self.pages[page.0 as usize];
+            meta.fault_streak = meta.fault_streak.saturating_add(1);
+            meta.fault_streak
+        };
+        if streak < self.promote_after_faults {
+            self.stats.promotions_below_streak += 1;
+            cxl_obs::counter_add("tier/promotions_below_streak", 1);
             return false;
         }
         self.promo_candidates_period += 1;
@@ -822,6 +920,7 @@ impl TierManager {
         debug_assert_eq!(meta.location, Location::Node(from));
         meta.location = Location::Node(to);
         meta.hint_installed = false;
+        meta.fault_streak = 0;
         self.nodes[from.0].used_pages -= 1;
         self.nodes[to.0].used_pages += 1;
         self.rings[to.0].push_back(page);
@@ -892,7 +991,7 @@ impl TierManager {
         self.stats.ssd_loads += 1;
         cxl_obs::counter_add("tier/ssd_loads", 1);
         self.epoch.record_ssd(self.cfg.page_size, false);
-        self.epoch.record_access(target, self.cfg.page_size, true);
+        self.record_node_access(target, self.cfg.page_size, true);
         self.record_trace(now, TierEvent::LoadedFromSsd { page, to: target });
         Ok(())
     }
@@ -1183,7 +1282,20 @@ impl TierManager {
 
     /// Drains and returns the traffic accumulated since the last drain.
     pub fn drain_epoch(&mut self) -> TrafficEpoch {
-        std::mem::take(&mut self.epoch)
+        let mut e = std::mem::take(&mut self.epoch);
+        for (i, b) in self.node_reads.iter_mut().enumerate() {
+            if *b > 0 {
+                *e.node_read_bytes.entry(NodeId(i)).or_insert(0) += *b;
+                *b = 0;
+            }
+        }
+        for (i, b) in self.node_writes.iter_mut().enumerate() {
+            if *b > 0 {
+                *e.node_write_bytes.entry(NodeId(i)).or_insert(0) += *b;
+                *b = 0;
+            }
+        }
+        e
     }
 }
 
@@ -1341,6 +1453,92 @@ mod tests {
         assert!(tm.stats().promotions_rate_limited > 0);
     }
 
+    /// Builds a CXL-bound manager with a hot-page config requiring a
+    /// streak of `n` in-window faults, plus one allocated page.
+    fn streak_manager(n: u32) -> (TierManager, PageId) {
+        let mut cfg = TierConfig::bind(vec![CXL0]);
+        cfg.migration = MigrationMode::HotPageSelection(HotPageConfig {
+            dynamic_threshold: false,
+            promote_after_faults: n,
+            ..Default::default()
+        });
+        let mut tm = TierManager::new(&topo(), cfg);
+        let p = tm.alloc(SimTime::ZERO).unwrap();
+        (tm, p)
+    }
+
+    /// Re-hints the page and faults it, returning the outcome.
+    fn hint_and_fault(tm: &mut TierManager, p: PageId, at_ms: u64) -> AccessOutcome {
+        tm.tick(SimTime::from_ms(at_ms));
+        tm.touch(p, Rw::Read, 64, SimTime::from_ms(at_ms + 1))
+    }
+
+    #[test]
+    fn promote_after_faults_defers_until_streak_builds() {
+        let (mut tm, p) = streak_manager(3);
+        // Fault 1: no previous fault, not hot.
+        assert!(!hint_and_fault(&mut tm, p, 200).promoted);
+        assert_eq!(tm.stats().promotions_not_hot, 1);
+        // Faults 2 and 3: in-window but the streak (1, then 2) is below 3.
+        assert!(!hint_and_fault(&mut tm, p, 300).promoted);
+        assert!(!hint_and_fault(&mut tm, p, 400).promoted);
+        assert_eq!(tm.stats().promotions_below_streak, 2);
+        // Fault 4: streak reaches 3 — promoted.
+        let out = hint_and_fault(&mut tm, p, 500);
+        assert!(out.promoted, "{out:?}");
+        assert_eq!(tm.location(p), Location::Node(DRAM0));
+    }
+
+    #[test]
+    fn out_of_window_fault_resets_the_streak() {
+        let (mut tm, p) = streak_manager(2);
+        assert!(!hint_and_fault(&mut tm, p, 200).promoted); // First fault.
+        assert!(!hint_and_fault(&mut tm, p, 300).promoted); // Streak 1 of 2.
+                                                            // A fault outside the 1 s hot threshold zeroes the streak...
+        assert!(!hint_and_fault(&mut tm, p, 2400).promoted);
+        assert_eq!(tm.stats().promotions_not_hot, 2);
+        // ...so the next in-window fault is streak 1 again, still deferred.
+        assert!(!hint_and_fault(&mut tm, p, 2500).promoted);
+        // And one more completes the streak.
+        assert!(hint_and_fault(&mut tm, p, 2600).promoted);
+    }
+
+    #[test]
+    fn set_promote_after_faults_retunes_live_manager() {
+        let (mut tm, p) = streak_manager(1);
+        assert_eq!(tm.promote_after_faults(), Some(1));
+        tm.set_promote_after_faults(2).unwrap();
+        assert_eq!(tm.promote_after_faults(), Some(2));
+        assert!(!hint_and_fault(&mut tm, p, 200).promoted); // Not hot.
+        assert!(!hint_and_fault(&mut tm, p, 300).promoted); // Streak 1 of 2.
+        assert!(hint_and_fault(&mut tm, p, 400).promoted);
+        // Zero is rejected, config untouched.
+        assert!(tm.set_promote_after_faults(0).is_err());
+        assert_eq!(tm.promote_after_faults(), Some(2));
+    }
+
+    #[test]
+    fn set_promote_after_faults_requires_rate_limited_mode() {
+        let mut tm = TierManager::new(&topo(), TierConfig::bind(vec![DRAM0]));
+        assert!(tm.promote_after_faults().is_none());
+        assert!(tm.set_promote_after_faults(2).is_err());
+    }
+
+    #[test]
+    fn alloc_preferring_overrides_policy_until_full() {
+        let mut cfg = TierConfig::bind(vec![DRAM0]);
+        cfg.capacity_override = small_caps(4, 1);
+        let mut tm = TierManager::new(&topo(), cfg);
+        // Preferred node wins over the Bind(DRAM0) policy.
+        let a = tm.alloc_preferring(CXL0, SimTime::ZERO).unwrap();
+        assert_eq!(tm.location(a), Location::Node(CXL0));
+        // CXL full: falls back to the policy node.
+        let b = tm.alloc_preferring(CXL0, SimTime::ZERO).unwrap();
+        assert_eq!(tm.location(b), Location::Node(DRAM0));
+        // Unknown node is an error, not a panic.
+        assert!(tm.alloc_preferring(NodeId(99), SimTime::ZERO).is_err());
+    }
+
     #[test]
     fn promotion_demotes_cold_page_when_dram_full() {
         let mut cfg = TierConfig::bind(vec![CXL0]);
@@ -1464,6 +1662,7 @@ mod tests {
                 promote_rate_limit_bytes_per_sec: 1e12,
                 dynamic_threshold: false,
                 adjust_period: SimTime::from_secs(1),
+                promote_after_faults: 1,
             },
             high_watermark: 0.75,
             low_watermark: 0.60,

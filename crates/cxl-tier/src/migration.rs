@@ -73,6 +73,14 @@ pub struct HotPageConfig {
     pub dynamic_threshold: bool,
     /// Interval at which the dynamic threshold is re-evaluated.
     pub adjust_period: SimTime,
+    /// Consecutive in-threshold repeat faults a page needs before it is
+    /// treated as a promotion candidate. The kernel patch promotes on
+    /// the first repeat fault (`1`, the default); raising this filters
+    /// one-shot sweeps — a GC trace re-walking a cold graph produces at
+    /// most a couple of in-window faults per page, while a genuinely
+    /// hot page keeps faulting scan after scan — at the cost of slower
+    /// reaction to real workload shifts. Must be nonzero.
+    pub promote_after_faults: u32,
 }
 
 impl Default for HotPageConfig {
@@ -82,7 +90,22 @@ impl Default for HotPageConfig {
             promote_rate_limit_bytes_per_sec: 256.0 * 1024.0 * 1024.0,
             dynamic_threshold: true,
             adjust_period: SimTime::from_secs(1),
+            promote_after_faults: 1,
         }
+    }
+}
+
+impl HotPageConfig {
+    /// Checks the config is internally consistent: a zero
+    /// `promote_after_faults` would make every page permanently
+    /// ineligible for promotion, silently disabling the mechanism.
+    pub fn validate(&self) -> Result<(), crate::TierError> {
+        if self.promote_after_faults == 0 {
+            return Err(crate::TierError::InvalidConfig(
+                "promote_after_faults must be nonzero (0 disables promotion silently)".to_string(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -122,6 +145,7 @@ impl BandwidthAwareConfig {
     /// quietly; now they are rejected where the config is used
     /// ([`crate::TierManager::try_new`]).
     pub fn validate(&self) -> Result<(), crate::TierError> {
+        self.base.validate()?;
         // NaN watermarks fall through to the range check below.
         if self.low_watermark >= self.high_watermark {
             return Err(crate::TierError::InvalidConfig(format!(
@@ -196,5 +220,25 @@ mod tests {
         let hp = HotPageConfig::default();
         assert!(hp.promote_rate_limit_bytes_per_sec > 0.0);
         assert!(hp.dynamic_threshold);
+        // The default streak requirement reproduces the kernel patch:
+        // promote on the first in-threshold repeat fault.
+        assert_eq!(hp.promote_after_faults, 1);
+        assert!(hp.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_promote_after_faults_is_rejected() {
+        let hp = HotPageConfig {
+            promote_after_faults: 0,
+            ..Default::default()
+        };
+        let err = hp.validate().expect_err("streak 0 must be rejected");
+        assert!(err.to_string().contains("promote_after_faults"), "{err}");
+        // The check also reaches bandwidth-aware configs through `base`.
+        let bw = BandwidthAwareConfig {
+            base: hp,
+            ..Default::default()
+        };
+        assert!(bw.validate().is_err());
     }
 }

@@ -48,6 +48,10 @@ pub(crate) struct PageMeta {
     pub hint_installed: bool,
     /// Referenced since last demotion scan pass (CLOCK bit).
     pub referenced: bool,
+    /// Consecutive hint faults that landed inside the hot threshold;
+    /// reset by an out-of-window fault or a migration. Compared against
+    /// `HotPageConfig::promote_after_faults`.
+    pub fault_streak: u32,
 }
 
 impl PageMeta {
@@ -59,6 +63,7 @@ impl PageMeta {
             last_hint_fault: SimTime::MAX,
             hint_installed: false,
             referenced: false,
+            fault_streak: 0,
         }
     }
 }

@@ -20,6 +20,11 @@ pub struct TierStats {
     pub promotions_rate_limited: u64,
     /// Promotions skipped because the page failed the hot threshold.
     pub promotions_not_hot: u64,
+    /// Promotions deferred because the page's consecutive in-window
+    /// fault streak was still below
+    /// [`crate::HotPageConfig::promote_after_faults`]. Always zero at
+    /// the default streak requirement of 1.
+    pub promotions_below_streak: u64,
     /// Promotions suppressed by the §5.3 bandwidth-aware policy (DRAM
     /// bandwidth above the high watermark).
     pub promotions_bw_suppressed: u64,
@@ -50,7 +55,10 @@ pub struct TierStats {
 impl TierStats {
     /// Promotion success ratio among hint faults on slow-tier pages.
     pub fn promotion_rate(&self) -> f64 {
-        let attempts = self.promotions + self.promotions_rate_limited + self.promotions_not_hot;
+        let attempts = self.promotions
+            + self.promotions_rate_limited
+            + self.promotions_not_hot
+            + self.promotions_below_streak;
         if attempts == 0 {
             0.0
         } else {

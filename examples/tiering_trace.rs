@@ -35,6 +35,7 @@ fn main() {
             promote_rate_limit_bytes_per_sec: 1e9,
             dynamic_threshold: false,
             adjust_period: SimTime::from_ms(100),
+            promote_after_faults: 1,
         },
         high_watermark: 0.75,
         low_watermark: 0.60,

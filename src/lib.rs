@@ -10,6 +10,7 @@ pub use cxl_core as core_api;
 pub use cxl_cost as cost;
 pub use cxl_ctl as ctl;
 pub use cxl_fault as fault;
+pub use cxl_heap as heap;
 pub use cxl_kv as kv;
 pub use cxl_llm as llm;
 pub use cxl_mlc as mlc;

@@ -1,0 +1,81 @@
+//! End-to-end heap dynamics: the `cxl-heap` managed-runtime workload
+//! driven through the umbrella crate, checking the acceptance gates the
+//! `heap_dynamics` bench relies on — a measured promotion storm under
+//! the default recency policy, its suppression by the storm-aware
+//! streak filter, the trace-phase and post-GC tail recovery, a clean
+//! DRAM-rich baseline, and zero stranded pages across the mid-trace
+//! expander fault.
+
+use cxl_repro::core_api::experiments::heap::{run_with, HeapStudyParams};
+use cxl_repro::core_api::runner::Runner;
+
+#[test]
+fn promotion_storm_is_measured_and_recovered() {
+    let study = run_with(&Runner::new(4), HeapStudyParams::smoke());
+
+    // The storm exists under the default one-repeat-fault policy and
+    // is an order of magnitude above the DRAM-rich baseline's noise.
+    let default_storm = study.storm("lean-default");
+    assert!(
+        default_storm > 0.01,
+        "expected a promotion storm under the default policy, got {default_storm:.4} promos/obj"
+    );
+    assert!(
+        study.storm("dram-rich") < default_storm / 10.0,
+        "DRAM-rich baseline should not storm: {:.4} vs {default_storm:.4}",
+        study.storm("dram-rich")
+    );
+
+    // The streak filter suppresses it by the headline factor.
+    assert!(
+        study.storm_reduction() > 4.0,
+        "storm-aware promotion should cut trace promotions > 4x, got {:.1}x",
+        study.storm_reduction()
+    );
+
+    // The storm damages the phases around it, and the streak filter
+    // recovers both: the trace's own p99 (promotion stalls land on
+    // trace accesses) and the resumed mutator's p99 (the storm evicted
+    // its hot set).
+    assert!(
+        study.trace_p99_ns("lean-default") > 1.5 * study.trace_p99_ns("lean-storm-aware"),
+        "trace p99 {:.0} ns should blow up vs storm-aware {:.0} ns",
+        study.trace_p99_ns("lean-default"),
+        study.trace_p99_ns("lean-storm-aware")
+    );
+    assert!(
+        study.post_gc_recovery() > 1.2,
+        "post-GC mutator p99 should degrade under storms and recover \
+         with the streak filter, got {:.2}x",
+        study.post_gc_recovery()
+    );
+}
+
+#[test]
+fn mid_trace_fault_evacuates_cleanly() {
+    let study = run_with(&Runner::new(4), HeapStudyParams::smoke());
+    let fault = &study.cell("lean-fault").report;
+    let ev = fault.evacuation.as_ref().expect("the planned fault fired");
+    assert!(ev.total_pages() > 0, "evacuation moved nothing");
+    assert_eq!(
+        fault.stranded_pages, 0,
+        "pages left on the failed expander after evacuation"
+    );
+    // The spare expander absorbs the heap: nothing falls to SSD.
+    assert_eq!(ev.pages_to_ssd, 0, "evacuation spilled to SSD");
+    // The run completes every planned GC cycle despite the fault.
+    assert_eq!(fault.gc_cycles, study.params.heap.gc_cycles);
+}
+
+#[test]
+fn no_gc_control_stays_benign() {
+    let study = run_with(&Runner::new(4), HeapStudyParams::smoke());
+    let control = &study.cell("lean-no-gc").report;
+    assert_eq!(control.objects_traced, 0);
+    assert_eq!(control.trace_promotions, 0);
+    // Identical total mutator work to the GC cells.
+    assert_eq!(
+        control.mutator.count(),
+        study.cell("lean-default").report.mutator.count()
+    );
+}

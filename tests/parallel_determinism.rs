@@ -6,7 +6,7 @@
 //! by one ulp fails the test.
 
 use cxl_repro::core_api::experiments::{
-    autotune, balancer, colocation, keydb, latency, llm, serve, slo, spark, vm,
+    autotune, balancer, colocation, heap, keydb, latency, llm, serve, slo, spark, vm,
 };
 use cxl_repro::core_api::{CapacityConfig, Runner};
 
@@ -138,6 +138,19 @@ fn serve_parallel_matches_serial() {
     let a = serve::run_with(&Runner::new(1), params);
     let b = serve::run_with(&Runner::new(8), params);
     assert_bit_identical(&a, &b, "serve");
+}
+
+#[test]
+fn heap_parallel_matches_serial() {
+    // The heap workload is one engine per cell: graph generation,
+    // mutator chases, trace order, epoch repricing, and the mid-trace
+    // evacuation all derive from the cell seed, so the whole study —
+    // including histogram contents — must be bit-identical under any
+    // worker count.
+    let params = heap::HeapStudyParams::smoke();
+    let a = heap::run_with(&Runner::new(1), params.clone());
+    let b = heap::run_with(&Runner::new(8), params);
+    assert_bit_identical(&a, &b, "heap");
 }
 
 #[test]

@@ -77,6 +77,7 @@ fn hot_page_selection_converges_hot_set_to_dram() {
         promote_rate_limit_bytes_per_sec: 1e9,
         dynamic_threshold: false,
         adjust_period: SimTime::from_ms(10),
+        promote_after_faults: 1,
     });
     let mut tm = TierManager::new(&t, cfg);
     let pages = tm.alloc_n(1000, SimTime::ZERO).unwrap();
