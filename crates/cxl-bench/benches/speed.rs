@@ -73,6 +73,14 @@ fn bench_speed(c: &mut Criterion) {
         b.iter(|| black_box(speed::arrival_gen_slice(50_000.0, 8)))
     });
 
+    // Calibration macro slice: a three-round coordinate-descent fit of
+    // the smallest registry target (4 free dims, 20 points) — the
+    // `cxl-calib` share of the trajectory, dominated by analytic
+    // solves with a distinct cache fingerprint per candidate.
+    g.bench_function("calib_fit_slice", |b| {
+        b.iter(|| black_box(speed::calib_fit_slice(3)))
+    });
+
     g.finish();
 }
 

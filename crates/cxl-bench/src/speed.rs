@@ -438,3 +438,22 @@ pub fn heap_gc_slice(old_objects: u32, gc_cycles: u32) -> u64 {
     let report = HeapWorkload::new(&topo, cfg, params, false, None).run();
     report.objects_traced + report.tier.promotions + report.mutator.count()
 }
+
+/// One calibration fit end-to-end (shipped measurement parse,
+/// perturbed start, seeded coordinate descent driving the
+/// loaded-latency harness): the `cxl-calib` slice of the trajectory,
+/// dominated by analytic solves at the measurement set's offered
+/// rates with a cold cache entry per candidate vector.
+pub fn calib_fit_slice(rounds: usize) -> u64 {
+    use cxl_calib::{fit, CalibrationTarget, FitConfig, SerialMap};
+    let t = CalibrationTarget::by_name("cxlmemsim_pure").expect("target registered");
+    let topo = t.topology();
+    let set = t.measurements();
+    let space = t.space();
+    let start = space.perturbed_start(&cxl_perf::ModelParams::default(), 42, 0.1);
+    let cfg = FitConfig {
+        rounds,
+        ..FitConfig::default()
+    };
+    fit(&SerialMap, &topo, &set, &space, start, &cfg).evaluations
+}

@@ -1,0 +1,30 @@
+//! Regenerates the shipped measurement data files under
+//! `crates/cxl-calib/data/` from each target's declared generation
+//! spec (synthetic truth + sweep plan + digitization).
+//!
+//! Run after changing a target's spec:
+//! `cargo run --release -p cxl-calib --bin regen_data`
+//!
+//! The `shipped_data_files_match_their_generator` test pins the files
+//! to the specs, so forgetting to re-run this fails `cargo test`.
+
+use std::path::Path;
+
+use cxl_calib::CalibrationTarget;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("data");
+    for t in CalibrationTarget::registry() {
+        let set = t.regenerate();
+        let path = dir.join(format!("{}.json", t.name));
+        let mut json = set.to_json();
+        json.push('\n');
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!(
+            "wrote {} ({} curves, {} points)",
+            path.display(),
+            set.curves.len(),
+            set.point_count()
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Deterministic seeded coordinate descent over a [`ParamSpace`].
+//!
+//! Each round visits every free dimension in a seed-shuffled order,
+//! lays a uniform candidate grid across a bracket centred on the
+//! current value (the bracket shrinks geometrically per round), scores
+//! all candidates, and accepts the grid minimum only on strict
+//! improvement — so the recorded descent trace is strictly decreasing
+//! by construction.
+//!
+//! The fit is a pure function of `(measurement set, space, start,
+//! config)`: candidate scoring goes through a [`CandidateMap`], and as
+//! long as the map is order-preserving (the serial one trivially is;
+//! `cxl-core` adapts its deterministic parallel runner) the result is
+//! bit-identical at any worker count. Ties on the candidate grid break
+//! to the lowest index.
+
+use serde::{Deserialize, Serialize};
+
+use cxl_perf::ModelParams;
+use cxl_stats::rng::derive_seed;
+use cxl_topology::Topology;
+
+use crate::measurement::MeasurementSet;
+use crate::report::loss;
+use crate::space::ParamSpace;
+
+/// Strategy for scoring a batch of candidate parameter vectors.
+///
+/// Implementations must preserve order: `map_losses(c, eval)[i]` must
+/// equal `eval(&c[i])`. That contract is what lets a parallel
+/// implementation shard the batch while keeping the fit bit-identical
+/// to the serial one.
+pub trait CandidateMap {
+    /// Scores each candidate, preserving order.
+    fn map_losses(
+        &self,
+        candidates: Vec<ModelParams>,
+        eval: &(dyn Fn(&ModelParams) -> f64 + Sync),
+    ) -> Vec<f64>;
+}
+
+/// The trivial in-thread [`CandidateMap`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialMap;
+
+impl CandidateMap for SerialMap {
+    fn map_losses(
+        &self,
+        candidates: Vec<ModelParams>,
+        eval: &(dyn Fn(&ModelParams) -> f64 + Sync),
+    ) -> Vec<f64> {
+        candidates.iter().map(eval).collect()
+    }
+}
+
+/// Fitter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitConfig {
+    /// Coordinate-descent rounds (full passes over the space).
+    pub rounds: usize,
+    /// Candidate grid points per dimension per zoom level (min 2).
+    pub candidates_per_dim: usize,
+    /// Zoom levels per dimension visit: each level re-grids around the
+    /// previous level's best candidate, multiplying the line-search
+    /// resolution by `candidates_per_dim - 1` per level.
+    pub zooms: usize,
+    /// Seed for the per-round dimension shuffle.
+    pub seed: u64,
+    /// Geometric bracket shrink per round, in `(0, 1]`: round `r`
+    /// searches a window of `shrink^r` times the full bracket, centred
+    /// on the current value.
+    pub shrink: f64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 6,
+            candidates_per_dim: 9,
+            zooms: 3,
+            seed: 42,
+            shrink: 0.5,
+        }
+    }
+}
+
+/// One accepted move of the descent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitStep {
+    /// Round the move happened in.
+    pub round: usize,
+    /// Field that moved.
+    pub field: String,
+    /// Value it moved to.
+    pub value: f64,
+    /// Loss after the move (strictly below the previous step's).
+    pub loss: f64,
+}
+
+/// Outcome of a fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// Starting vector (after clamping into the space).
+    pub start: ModelParams,
+    /// Fitted vector.
+    pub fitted: ModelParams,
+    /// Loss at the start.
+    pub start_loss: f64,
+    /// Loss at the end (`<=` start loss).
+    pub final_loss: f64,
+    /// Accepted moves, in order; `loss` is strictly decreasing.
+    pub steps: Vec<FitStep>,
+    /// Total objective evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Seed-shuffled visit order for `n` dimensions in `round`
+/// (Fisher–Yates on indices, driven by [`derive_seed`] splitmix
+/// streams so it needs no live RNG state).
+fn visit_order(seed: u64, round: usize, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let r = derive_seed(seed, &format!("visit/{round}/{i}"));
+        let j = (r % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Runs the coordinate descent and returns the fitted vector with its
+/// full descent trace.
+///
+/// # Panics
+///
+/// Panics if the space is empty, on invalid config values, or if the
+/// set references a distance absent from `topo` (see
+/// [`crate::report::evaluate`]).
+pub fn fit(
+    map: &dyn CandidateMap,
+    topo: &Topology,
+    set: &MeasurementSet,
+    space: &ParamSpace,
+    start: ModelParams,
+    cfg: &FitConfig,
+) -> FitResult {
+    assert!(!space.dims.is_empty(), "empty parameter space");
+    assert!(
+        cfg.shrink > 0.0 && cfg.shrink <= 1.0,
+        "shrink must be in (0, 1]"
+    );
+    let eval = |p: &ModelParams| loss(topo, p, set);
+
+    let mut params = start;
+    space.clamp(&mut params);
+    let start = params;
+    let start_loss = eval(&params);
+    let mut cur_loss = start_loss;
+    let mut evaluations: u64 = 1;
+    let mut steps = Vec::new();
+
+    for round in 0..cfg.rounds {
+        for dim in visit_order(cfg.seed, round, space.dims.len()) {
+            let d = &space.dims[dim];
+            let cur = params.get(d.field).expect("dim field exists");
+            let width = (d.hi - d.lo) * cfg.shrink.powi(round as i32);
+            let mut lo = (cur - width / 2.0).max(d.lo);
+            let mut hi = (cur + width / 2.0).min(d.hi);
+            if hi <= lo {
+                continue;
+            }
+            let k = cfg.candidates_per_dim.max(2);
+            // Iterated line search: grid the window, then re-grid around
+            // the grid minimum, `zooms` times. Only the best value seen
+            // across all levels competes for acceptance.
+            let mut best_val = cur;
+            let mut best_loss = f64::INFINITY;
+            for _ in 0..cfg.zooms.max(1) {
+                let values: Vec<f64> = (0..k)
+                    .map(|i| lo + (hi - lo) * i as f64 / (k - 1) as f64)
+                    .collect();
+                let candidates: Vec<ModelParams> = values
+                    .iter()
+                    .map(|&v| {
+                        let mut c = params;
+                        c.set(d.field, v);
+                        c
+                    })
+                    .collect();
+                let losses = map.map_losses(candidates, &eval);
+                assert_eq!(losses.len(), values.len(), "CandidateMap dropped results");
+                evaluations += losses.len() as u64;
+                let mut grid_best = 0;
+                for (i, &l) in losses.iter().enumerate() {
+                    if l < losses[grid_best] {
+                        grid_best = i;
+                    }
+                }
+                if losses[grid_best] < best_loss {
+                    best_loss = losses[grid_best];
+                    best_val = values[grid_best];
+                }
+                let step = (hi - lo) / (k - 1) as f64;
+                lo = (values[grid_best] - step).max(d.lo);
+                hi = (values[grid_best] + step).min(d.hi);
+                if hi <= lo {
+                    break;
+                }
+            }
+            if best_loss < cur_loss {
+                params.set(d.field, best_val);
+                cur_loss = best_loss;
+                steps.push(FitStep {
+                    round,
+                    field: d.field.to_string(),
+                    value: best_val,
+                    loss: cur_loss,
+                });
+            }
+        }
+    }
+
+    FitResult {
+        start,
+        fitted: params,
+        start_loss,
+        final_loss: cur_loss,
+        steps,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::synthesize;
+    use cxl_mlc::{Mlc, MlcConfig};
+    use cxl_perf::{AccessMix, Distance, MemSystem};
+
+    fn small_set(truth: &ModelParams, topo: &Topology) -> MeasurementSet {
+        let sys = MemSystem::with_params(topo, truth);
+        let mlc = Mlc::new(MlcConfig {
+            steps: 5,
+            ..Default::default()
+        });
+        synthesize(
+            &sys,
+            &mlc,
+            "unit",
+            "exact synthesis",
+            "snc_domain_with_cxl",
+            &[(Distance::LocalCxl, AccessMix::ratio(2, 1))],
+            None,
+        )
+    }
+
+    #[test]
+    fn fit_recovers_a_single_perturbed_knob() {
+        let topo = Topology::snc_domain_with_cxl();
+        let truth = ModelParams::default();
+        let set = small_set(&truth, &topo);
+        let space = ParamSpace::new(&[("controller_latency_scale", 0.5, 2.0)]);
+        let mut start = truth;
+        start.controller_latency_scale = 1.7;
+        let r = fit(
+            &SerialMap,
+            &topo,
+            &set,
+            &space,
+            start,
+            &FitConfig {
+                rounds: 4,
+                ..Default::default()
+            },
+        );
+        assert!(r.final_loss < r.start_loss);
+        assert!(
+            (r.fitted.controller_latency_scale - 1.0).abs() < 0.05,
+            "recovered scale {}",
+            r.fitted.controller_latency_scale
+        );
+    }
+
+    #[test]
+    fn descent_trace_is_strictly_decreasing_and_below_start() {
+        let topo = Topology::snc_domain_with_cxl();
+        let truth = ModelParams::default();
+        let set = small_set(&truth, &topo);
+        let space = ParamSpace::new(&[
+            ("controller_latency_scale", 0.5, 2.0),
+            ("cxl_queue_scale_ns", 10.0, 150.0),
+        ]);
+        let start = space.perturbed_start(&truth, 3, 0.4);
+        let r = fit(
+            &SerialMap,
+            &topo,
+            &set,
+            &space,
+            start,
+            &FitConfig::default(),
+        );
+        let mut prev = r.start_loss;
+        for s in &r.steps {
+            assert!(s.loss < prev, "step did not improve: {s:?}");
+            prev = s.loss;
+        }
+        assert_eq!(
+            r.final_loss,
+            r.steps.last().map_or(r.start_loss, |s| s.loss)
+        );
+    }
+
+    #[test]
+    fn visit_order_is_a_permutation_and_seed_sensitive() {
+        let a = visit_order(1, 0, 6);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+        assert_eq!(a, visit_order(1, 0, 6));
+        assert_ne!(visit_order(1, 0, 6), visit_order(2, 0, 6));
+    }
+}

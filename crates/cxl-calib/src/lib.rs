@@ -1,0 +1,47 @@
+//! Calibration & validation harness for the performance model.
+//!
+//! The model in `cxl-perf` is only as good as its constants. This
+//! crate closes the loop: it ships external measurement sets as data
+//! files, fits the model's free parameters to them with a
+//! deterministic seeded coordinate descent, and reports residuals that
+//! CI gates on — so a change that silently drags the model away from
+//! the paper's §3 tables (or from the external simulators we
+//! cross-validate against) fails the build instead of shipping.
+//!
+//! The pieces:
+//!
+//! - [`MeasurementSet`] (`measurement`): named offered-load →
+//!   latency/bandwidth point sets with mix/topology labels, parsed
+//!   from in-repo JSON.
+//! - [`ParamSpace`] (`space`): which [`cxl_perf::ModelParams`] fields
+//!   a target may move, and within what brackets.
+//! - [`fit`] (`fitter`): seeded coordinate descent — a pure function
+//!   of `(set, space, start, config)`, sharded through a
+//!   [`CandidateMap`] so `cxl-core`'s parallel runner can score
+//!   candidate grids bit-identically at any `--jobs`.
+//! - [`evaluate`] (`report`): the shared scoring path; per-curve RMSE
+//!   and max point residual, plus shipped-vs-fitted
+//!   [`param_deltas`].
+//! - [`CalibrationTarget`] (`target`): the named registry —
+//!   `paper_s3`, `cxl_dmsim_a1000`, `cxlmemsim_pure`, `slow_asic`,
+//!   `cxl2_switch` — each pairing a data file with a topology, a
+//!   space, and a pinned tolerance.
+//!
+//! The crate deliberately depends only on the model stack (`cxl-perf`,
+//! `cxl-mlc`, `cxl-topology`, `cxl-stats`); the experiment driver in
+//! `cxl-core::experiments::calib` layers the parallel runner and
+//! `cxl-obs` export on top.
+
+#![warn(missing_docs)]
+
+pub mod fitter;
+pub mod measurement;
+pub mod report;
+pub mod space;
+pub mod target;
+
+pub use fitter::{fit, CandidateMap, FitConfig, FitResult, FitStep, SerialMap};
+pub use measurement::{synthesize, MeasuredCurve, MeasuredPoint, MeasurementSet};
+pub use report::{evaluate, loss, param_deltas, CurveResidual, ParamDelta, ResidualReport};
+pub use space::{ParamDim, ParamSpace};
+pub use target::CalibrationTarget;

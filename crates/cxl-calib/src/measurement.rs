@@ -1,0 +1,291 @@
+//! The measurement-set format: named (offered-load → latency/bandwidth)
+//! point sets with mix/topology labels.
+//!
+//! A [`MeasurementSet`] is what the fitter fits *against*: a bundle of
+//! loaded-latency curves, one per `(distance, mix)` pair, each point
+//! carrying the offered injection rate (the sweep protocol's demand
+//! knob, which the fitter replays through [`cxl_mlc::Mlc::sweep_at`])
+//! and the two observables — achieved bandwidth and loaded latency.
+//! Sets ship in-repo as JSON data files (`crates/cxl-calib/data/`) and
+//! parse with [`MeasurementSet::from_json`].
+//!
+//! [`synthesize`] produces a set from a live model — the round-trip
+//! anchor of the fitter's property tests, and the generator behind the
+//! shipped data files (see `src/bin/regen_data.rs` for provenance).
+
+use serde::{Deserialize, Serialize};
+
+use cxl_mlc::Mlc;
+use cxl_perf::{AccessMix, Distance, MemSystem};
+use cxl_topology::{NodeId, SocketId};
+
+/// One measured operating point of a loaded-latency sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredPoint {
+    /// Offered injection rate of the sweep step, GB/s (the demand the
+    /// fitter replays; equal to the achieved bandwidth below
+    /// saturation).
+    pub offered_gbps: f64,
+    /// Measured loaded latency, ns.
+    pub latency_ns: f64,
+    /// Measured achieved bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+/// One measured curve: a `(distance, mix)` pair swept over offered load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredCurve {
+    /// Human-readable label, e.g. `"CXL 2:1"`.
+    pub label: String,
+    /// Distance label as printed in the paper: `MMEM`, `MMEM-r`, `CXL`,
+    /// or `CXL-r` (parsed with [`Distance::from_label`]).
+    pub distance: String,
+    /// Read:write mix in the paper's notation, e.g. `"2:1"` (parsed
+    /// with [`AccessMix::parse`]).
+    pub mix: String,
+    /// Sweep points in increasing offered load.
+    pub points: Vec<MeasuredPoint>,
+}
+
+impl MeasuredCurve {
+    /// The parsed distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown label; [`MeasurementSet::validate`] rejects
+    /// those up front.
+    pub fn parsed_distance(&self) -> Distance {
+        Distance::from_label(&self.distance)
+            .unwrap_or_else(|| panic!("unknown distance label '{}'", self.distance))
+    }
+
+    /// The parsed access mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed mix; [`MeasurementSet::validate`] rejects
+    /// those up front.
+    pub fn parsed_mix(&self) -> AccessMix {
+        AccessMix::parse(&self.mix).unwrap_or_else(|e| panic!("bad mix '{}': {e}", self.mix))
+    }
+}
+
+/// A named bundle of measured curves against one topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    /// Set name (matches the calibration target name for shipped sets).
+    pub name: String,
+    /// Provenance note: where the numbers come from.
+    pub source: String,
+    /// Label of the topology the measurements were taken on
+    /// (informational; the target registry owns the builder).
+    pub topology: String,
+    /// The measured curves.
+    pub curves: Vec<MeasuredCurve>,
+}
+
+impl MeasurementSet {
+    /// Parses a set from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntactic or semantic problem
+    /// (malformed JSON, unknown distance/mix labels, non-positive
+    /// observables, unordered sweeps).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let set: MeasurementSet =
+            serde_json::from_str(json).map_err(|e| format!("malformed measurement set: {e}"))?;
+        set.validate()?;
+        Ok(set)
+    }
+
+    /// Serializes the set as pretty JSON (the shipped-file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("measurement set serializes")
+    }
+
+    /// Total measured points across curves.
+    pub fn point_count(&self) -> usize {
+        self.curves.iter().map(|c| c.points.len()).sum()
+    }
+
+    /// Checks semantic invariants: at least one curve, every curve
+    /// non-empty with parseable distance/mix labels, every point with
+    /// positive finite observables, and offered rates strictly
+    /// increasing within a curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.curves.is_empty() {
+            return Err(format!("measurement set '{}' has no curves", self.name));
+        }
+        for c in &self.curves {
+            let what = format!("set '{}' curve '{}'", self.name, c.label);
+            Distance::from_label(&c.distance)
+                .ok_or_else(|| format!("{what}: unknown distance '{}'", c.distance))?;
+            AccessMix::parse(&c.mix).map_err(|e| format!("{what}: bad mix: {e}"))?;
+            if c.points.is_empty() {
+                return Err(format!("{what}: no points"));
+            }
+            let mut prev = 0.0f64;
+            for (i, p) in c.points.iter().enumerate() {
+                let finite_pos = |v: f64| v.is_finite() && v > 0.0;
+                if !finite_pos(p.offered_gbps)
+                    || !finite_pos(p.latency_ns)
+                    || !finite_pos(p.bandwidth_gbps)
+                {
+                    return Err(format!("{what}: point {i} has a non-positive field"));
+                }
+                if p.offered_gbps <= prev {
+                    return Err(format!("{what}: offered rates not strictly increasing"));
+                }
+                prev = p.offered_gbps;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rounds to `digits` significant decimal digits (digitization
+/// precision for the synthesized data files; exact for `v == 0`).
+pub fn round_sig(v: f64, digits: u32) -> f64 {
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    let magnitude = v.abs().log10().floor() as i32;
+    let scale = 10f64.powi(digits as i32 - 1 - magnitude);
+    (v * scale).round() / scale
+}
+
+/// Synthesizes a measurement set by sweeping a live model: one curve
+/// per `(distance, mix)` pair, at the [`Mlc`] grid of offered rates.
+///
+/// With `digitize = Some(n)` the observables are rounded to `n`
+/// significant digits, mimicking points lifted off a published figure;
+/// `None` keeps them exact, which makes the set a bit-perfect
+/// round-trip anchor: evaluating the generating parameters against it
+/// yields zero residual.
+///
+/// # Panics
+///
+/// Panics if a requested distance is absent from the system's topology.
+pub fn synthesize(
+    sys: &MemSystem,
+    mlc: &Mlc,
+    name: &str,
+    source: &str,
+    topology: &str,
+    curves: &[(Distance, AccessMix)],
+    digitize: Option<u32>,
+) -> MeasurementSet {
+    let endpoints = Mlc::distance_endpoints(sys);
+    let endpoint = |d: Distance| -> (SocketId, NodeId) {
+        endpoints
+            .iter()
+            .find(|&&(dd, _, _)| dd == d)
+            .map(|&(_, f, n)| (f, n))
+            .unwrap_or_else(|| panic!("distance {d:?} not present in topology '{topology}'"))
+    };
+    let q = |v: f64| match digitize {
+        Some(digits) => round_sig(v, digits),
+        None => v,
+    };
+    let curves = curves
+        .iter()
+        .map(|&(d, mix)| {
+            let (from, node) = endpoint(d);
+            let points = mlc
+                .loaded_latency(sys, from, node, mix)
+                .into_iter()
+                .map(|p| MeasuredPoint {
+                    offered_gbps: p.offered_gbps,
+                    latency_ns: q(p.latency_ns),
+                    bandwidth_gbps: q(p.bandwidth_gbps),
+                })
+                .collect();
+            MeasuredCurve {
+                label: format!("{} {}", d.label(), mix.label()),
+                distance: d.label().to_string(),
+                mix: mix.label(),
+                points,
+            }
+        })
+        .collect();
+    MeasurementSet {
+        name: name.to_string(),
+        source: source.to_string(),
+        topology: topology.to_string(),
+        curves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_mlc::MlcConfig;
+    use cxl_topology::Topology;
+
+    #[test]
+    fn synthesized_set_validates_and_round_trips_json() {
+        let sys = MemSystem::new(&Topology::snc_domain_with_cxl());
+        let mlc = Mlc::new(MlcConfig {
+            steps: 6,
+            ..Default::default()
+        });
+        let set = synthesize(
+            &sys,
+            &mlc,
+            "test",
+            "unit test",
+            "snc_domain_with_cxl",
+            &[
+                (Distance::LocalCxl, AccessMix::read_only()),
+                (Distance::LocalDram, AccessMix::ratio(2, 1)),
+            ],
+            Some(4),
+        );
+        set.validate().expect("synthesized set is valid");
+        assert_eq!(set.curves.len(), 2);
+        assert_eq!(set.point_count(), 12);
+        let back = MeasurementSet::from_json(&set.to_json()).expect("round trips");
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn validate_rejects_bad_labels_and_orders() {
+        let mut set = MeasurementSet {
+            name: "x".into(),
+            source: "s".into(),
+            topology: "t".into(),
+            curves: vec![MeasuredCurve {
+                label: "c".into(),
+                distance: "DDR9".into(),
+                mix: "1:0".into(),
+                points: vec![MeasuredPoint {
+                    offered_gbps: 1.0,
+                    latency_ns: 100.0,
+                    bandwidth_gbps: 1.0,
+                }],
+            }],
+        };
+        assert!(set.validate().unwrap_err().contains("unknown distance"));
+        set.curves[0].distance = "CXL".into();
+        set.validate().expect("fixed distance validates");
+        set.curves[0].points.push(MeasuredPoint {
+            offered_gbps: 0.5,
+            latency_ns: 100.0,
+            bandwidth_gbps: 0.5,
+        });
+        assert!(set.validate().unwrap_err().contains("strictly increasing"));
+    }
+
+    #[test]
+    fn round_sig_hits_requested_precision() {
+        assert_eq!(round_sig(123.456, 4), 123.5);
+        assert_eq!(round_sig(0.0012345, 3), 0.00123);
+        assert_eq!(round_sig(0.0, 3), 0.0);
+        assert_eq!(round_sig(97.0, 4), 97.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Residual evaluation: drive the model at a measurement set's offered
+//! rates and report how far it lands from the measured observables.
+//!
+//! [`evaluate`] is the single scoring path shared by the fitter, the
+//! acceptance tests, and the CI gate. Residuals are *relative*: a
+//! point's residual is the worse of its latency and bandwidth relative
+//! errors, so "max residual 5%" reads directly as "every point of every
+//! curve is within 5% on both channels".
+
+use serde::{Deserialize, Serialize};
+
+use cxl_mlc::{Mlc, MlcConfig};
+use cxl_perf::{MemSystem, ModelParams};
+use cxl_topology::Topology;
+
+use crate::measurement::MeasurementSet;
+use crate::space::ParamSpace;
+
+/// Residual summary for one measured curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveResidual {
+    /// Curve label from the measurement set.
+    pub label: String,
+    /// Points in the curve.
+    pub points: usize,
+    /// Root-mean-square relative residual over both channels, percent.
+    pub rmse_pct: f64,
+    /// Worst single-point residual (max of |rel latency|, |rel
+    /// bandwidth|), percent.
+    pub max_residual_pct: f64,
+}
+
+/// Residual report for a full measurement set under one parameter
+/// vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidualReport {
+    /// Name of the measurement set evaluated.
+    pub set: String,
+    /// Per-curve summaries, in set order.
+    pub curves: Vec<CurveResidual>,
+    /// Mean squared relative residual over all points and both
+    /// channels — the fitter's loss.
+    pub loss: f64,
+    /// Overall RMSE, percent.
+    pub rmse_pct: f64,
+    /// Overall worst point residual, percent.
+    pub max_residual_pct: f64,
+}
+
+/// Shipped-vs-fitted delta for one free dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDelta {
+    /// Field name.
+    pub field: String,
+    /// Value in the shipped defaults.
+    pub shipped: f64,
+    /// Value the fitter landed on.
+    pub fitted: f64,
+    /// Relative change, percent (0 when the shipped value is 0).
+    pub delta_pct: f64,
+}
+
+/// Per-dimension deltas between a shipped and a fitted vector, in
+/// space order.
+pub fn param_deltas(
+    space: &ParamSpace,
+    shipped: &ModelParams,
+    fitted: &ModelParams,
+) -> Vec<ParamDelta> {
+    space
+        .dims
+        .iter()
+        .map(|d| {
+            let s = shipped.get(d.field).expect("dim field exists");
+            let f = fitted.get(d.field).expect("dim field exists");
+            let delta_pct = if s == 0.0 { 0.0 } else { (f - s) / s * 100.0 };
+            ParamDelta {
+                field: d.field.to_string(),
+                shipped: s,
+                fitted: f,
+                delta_pct,
+            }
+        })
+        .collect()
+}
+
+/// Evaluates `params` against `set` on `topo`: replays every curve's
+/// offered rates through the loaded-latency harness and scores the
+/// relative residuals.
+///
+/// Pure function of its arguments — no clock, no global state — so the
+/// fitter's sharded evaluations are bit-identical at any worker count.
+///
+/// # Panics
+///
+/// Panics if the set references a distance the topology lacks; the
+/// target registry pairs sets with matching topologies, and
+/// [`MeasurementSet::validate`] has already rejected malformed labels.
+pub fn evaluate(topo: &Topology, params: &ModelParams, set: &MeasurementSet) -> ResidualReport {
+    let sys = MemSystem::with_params(topo, params);
+    let mlc = Mlc::new(MlcConfig::default());
+    let endpoints = Mlc::distance_endpoints(&sys);
+    let mut curves = Vec::with_capacity(set.curves.len());
+    let mut sq_sum = 0.0f64;
+    let mut n = 0usize;
+    let mut worst = 0.0f64;
+    for c in &set.curves {
+        let d = c.parsed_distance();
+        let (from, node) = endpoints
+            .iter()
+            .find(|&&(dd, _, _)| dd == d)
+            .map(|&(_, f, nn)| (f, nn))
+            .unwrap_or_else(|| {
+                panic!(
+                    "set '{}' needs distance {} absent from topology",
+                    set.name, c.distance
+                )
+            });
+        let rates: Vec<f64> = c.points.iter().map(|p| p.offered_gbps).collect();
+        let model = mlc.sweep_at(&sys, from, node, c.parsed_mix(), &rates);
+        let mut c_sq = 0.0f64;
+        let mut c_worst = 0.0f64;
+        for (meas, got) in c.points.iter().zip(&model) {
+            let rel_lat = (got.latency_ns - meas.latency_ns) / meas.latency_ns;
+            let rel_bw = (got.bandwidth_gbps - meas.bandwidth_gbps) / meas.bandwidth_gbps;
+            c_sq += rel_lat * rel_lat + rel_bw * rel_bw;
+            c_worst = c_worst.max(rel_lat.abs().max(rel_bw.abs()));
+        }
+        let pts = c.points.len();
+        sq_sum += c_sq;
+        n += pts;
+        worst = worst.max(c_worst);
+        curves.push(CurveResidual {
+            label: c.label.clone(),
+            points: pts,
+            rmse_pct: (c_sq / (2 * pts) as f64).sqrt() * 100.0,
+            max_residual_pct: c_worst * 100.0,
+        });
+    }
+    let loss = sq_sum / (2 * n.max(1)) as f64;
+    ResidualReport {
+        set: set.name.clone(),
+        curves,
+        loss,
+        rmse_pct: loss.sqrt() * 100.0,
+        max_residual_pct: worst * 100.0,
+    }
+}
+
+/// The fitter's scalar objective: [`evaluate`]'s mean squared relative
+/// residual.
+pub fn loss(topo: &Topology, params: &ModelParams, set: &MeasurementSet) -> f64 {
+    evaluate(topo, params, set).loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::synthesize;
+    use cxl_perf::{AccessMix, Distance};
+
+    #[test]
+    fn exact_synthesis_scores_zero_residual() {
+        let topo = Topology::snc_domain_with_cxl();
+        let params = ModelParams::default();
+        let sys = MemSystem::with_params(&topo, &params);
+        let mlc = Mlc::new(MlcConfig::default());
+        let set = synthesize(
+            &sys,
+            &mlc,
+            "anchor",
+            "exact synthesis",
+            "snc_domain_with_cxl",
+            &[(Distance::LocalCxl, AccessMix::ratio(2, 1))],
+            None,
+        );
+        let report = evaluate(&topo, &params, &set);
+        assert_eq!(report.max_residual_pct, 0.0);
+        assert_eq!(report.loss, 0.0);
+    }
+
+    #[test]
+    fn perturbed_params_score_nonzero_and_deltas_track() {
+        let topo = Topology::snc_domain_with_cxl();
+        let base = ModelParams::default();
+        let sys = MemSystem::with_params(&topo, &base);
+        let mlc = Mlc::new(MlcConfig::default());
+        let set = synthesize(
+            &sys,
+            &mlc,
+            "anchor",
+            "exact synthesis",
+            "snc_domain_with_cxl",
+            &[(Distance::LocalCxl, AccessMix::read_only())],
+            None,
+        );
+        let mut off = base;
+        off.controller_latency_scale = 1.5;
+        let report = evaluate(&topo, &off, &set);
+        assert!(report.max_residual_pct > 1.0);
+        assert!(report.loss > 0.0);
+        let space = ParamSpace::new(&[("controller_latency_scale", 0.5, 2.0)]);
+        let deltas = param_deltas(&space, &base, &off);
+        assert_eq!(deltas.len(), 1);
+        assert!((deltas[0].delta_pct - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! The fitter's search space: which [`ModelParams`] fields are free,
+//! and over what brackets.
+//!
+//! A [`ParamSpace`] is a small, explicit list of free dimensions; every
+//! field not listed stays pinned at its starting value. Targets in the
+//! registry each carry their own space — the paper target frees the
+//! DDR/UPI/CXL service constants, the external-simulator targets free
+//! only the device-facing knobs their curves can identify.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use cxl_perf::ModelParams;
+use cxl_stats::rng::stream_rng;
+
+/// One free dimension of the search: a [`ModelParams`] field name plus
+/// the closed bracket the fitter may move it within.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamDim {
+    /// Field name, as listed in [`ModelParams::FIELDS`].
+    pub field: &'static str,
+    /// Lower bracket edge (inclusive).
+    pub lo: f64,
+    /// Upper bracket edge (inclusive).
+    pub hi: f64,
+}
+
+impl ParamDim {
+    /// A dimension spanning `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is not a [`ModelParams`] field or the bracket
+    /// is empty or non-finite.
+    pub fn new(field: &'static str, lo: f64, hi: f64) -> Self {
+        assert!(
+            ModelParams::FIELDS.contains(&field),
+            "unknown ModelParams field '{field}'"
+        );
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad bracket [{lo}, {hi}] for '{field}'"
+        );
+        Self { field, lo, hi }
+    }
+}
+
+/// An ordered set of free dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    /// The free dimensions, in fit order.
+    pub dims: Vec<ParamDim>,
+}
+
+impl ParamSpace {
+    /// Builds a space from `(field, lo, hi)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown field, a bad bracket, or a repeated field.
+    pub fn new(dims: &[(&'static str, f64, f64)]) -> Self {
+        let dims: Vec<ParamDim> = dims
+            .iter()
+            .map(|&(field, lo, hi)| ParamDim::new(field, lo, hi))
+            .collect();
+        for (i, d) in dims.iter().enumerate() {
+            assert!(
+                dims[..i].iter().all(|e| e.field != d.field),
+                "field '{}' listed twice",
+                d.field
+            );
+        }
+        Self { dims }
+    }
+
+    /// Clamps every free dimension of `params` into its bracket.
+    pub fn clamp(&self, params: &mut ModelParams) {
+        for d in &self.dims {
+            let v = params.get(d.field).expect("dim field exists");
+            params.set(d.field, v.clamp(d.lo, d.hi));
+        }
+    }
+
+    /// True when every free dimension of `params` lies inside its
+    /// bracket.
+    pub fn contains(&self, params: &ModelParams) -> bool {
+        self.dims.iter().all(|d| {
+            let v = params.get(d.field).expect("dim field exists");
+            (d.lo..=d.hi).contains(&v)
+        })
+    }
+
+    /// A deterministically perturbed copy of `base`: each free
+    /// dimension is moved by up to `±frac` of its value (clamped into
+    /// the bracket), seeded per field so the result is a pure function
+    /// of `(base, seed, frac)`.
+    pub fn perturbed_start(&self, base: &ModelParams, seed: u64, frac: f64) -> ModelParams {
+        let mut out = *base;
+        for d in &self.dims {
+            let mut rng = stream_rng(seed, &format!("perturb/{}", d.field));
+            let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let v = out.get(d.field).expect("dim field exists");
+            out.set(d.field, (v * (1.0 + frac * u)).clamp(d.lo, d.hi));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(&[
+            ("mmem_read_idle_ns", 80.0, 120.0),
+            ("controller_latency_scale", 0.5, 2.0),
+        ])
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ModelParams field")]
+    fn unknown_field_is_rejected() {
+        ParamSpace::new(&[("warp_drive_ns", 0.0, 1.0)]);
+    }
+
+    #[test]
+    fn clamp_and_contains_agree() {
+        let s = space();
+        let mut p = ModelParams::default();
+        p.set("mmem_read_idle_ns", 500.0);
+        assert!(!s.contains(&p));
+        s.clamp(&mut p);
+        assert!(s.contains(&p));
+        assert_eq!(p.get("mmem_read_idle_ns"), Some(120.0));
+    }
+
+    #[test]
+    fn perturbed_start_is_deterministic_and_in_bracket() {
+        let s = space();
+        let base = ModelParams::default();
+        let a = s.perturbed_start(&base, 7, 0.3);
+        let b = s.perturbed_start(&base, 7, 0.3);
+        assert_eq!(a, b, "same seed gives the same start");
+        assert!(s.contains(&a));
+        let c = s.perturbed_start(&base, 8, 0.3);
+        assert_ne!(a, c, "different seed moves somewhere else");
+        // Pinned fields are untouched.
+        assert_eq!(a.upi_hop_ns, base.upi_hop_ns);
+    }
+}

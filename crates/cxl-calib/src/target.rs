@@ -1,0 +1,345 @@
+//! The named calibration-target registry.
+//!
+//! A [`CalibrationTarget`] bundles everything one calibration run
+//! needs: the shipped measurement set, the topology it was measured
+//! on, the free-parameter space the curves can identify, and the
+//! pinned residual tolerance the CI gate enforces. Adding a device
+//! model to the harness is exactly one measurement file plus one
+//! registry entry.
+//!
+//! The shipped data files are *synthetic digitizations*: each target
+//! declares the "truth" parameter vector its curves were generated
+//! from ([`CalibrationTarget::synthetic_truth`]), and
+//! [`CalibrationTarget::regenerate`] reproduces the file bit-for-bit
+//! (a unit test pins this). For the paper target the truth is the
+//! shipped defaults — themselves hand-calibrated to the §3 tables —
+//! so its anchors (97 ns DDR idle, 250.42 ns CXL idle, 20.6 GB/s
+//! remote-CXL cap, …) equal the published numbers by construction.
+//! The external-simulator targets perturb the device-facing knobs to
+//! stand in for digitized CXL-DMSim / CXLMemSim curves.
+
+use cxl_mlc::{Mlc, MlcConfig};
+use cxl_perf::{AccessMix, Distance, MemSystem, ModelParams};
+use cxl_topology::{SncMode, Topology};
+
+use crate::measurement::{synthesize, MeasurementSet};
+use crate::space::ParamSpace;
+
+/// Sweep steps per curve in the shipped data files.
+const GEN_STEPS: usize = 10;
+
+/// Significant digits the shipped observables are rounded to
+/// (digitization precision).
+const GEN_DIGITS: u32 = 4;
+
+/// One named calibration target.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationTarget {
+    /// Registry name (also the measurement-set and data-file name).
+    pub name: &'static str,
+    /// What the target models.
+    pub description: &'static str,
+    /// CI gate: max point residual (percent) the *shipped defaults*
+    /// must stay within on this target after a standard fit from the
+    /// perturbed start (see `cxl_core::experiments::calib`).
+    pub tolerance_pct: f64,
+    data: &'static str,
+    topology_label: &'static str,
+    topology: fn() -> Topology,
+    space: fn() -> ParamSpace,
+    truth: fn() -> ModelParams,
+    plan: fn() -> Vec<(Distance, AccessMix)>,
+}
+
+impl CalibrationTarget {
+    /// The full registry, in canonical order.
+    pub fn registry() -> Vec<Self> {
+        vec![
+            Self {
+                name: "paper_s3",
+                description: "EuroSys '24 paper §3 loaded-latency tables (SPR + 2x A1000)",
+                tolerance_pct: 5.0,
+                data: include_str!("../data/paper_s3.json"),
+                topology_label: "paper_testbed(Snc4)",
+                topology: || Topology::paper_testbed(SncMode::Snc4),
+                space: || {
+                    ParamSpace::new(&[
+                        ("mmem_read_idle_ns", 80.0, 120.0),
+                        ("upi_hop_ns", 20.0, 50.0),
+                        ("ddr_read_efficiency", 0.75, 0.95),
+                        ("ddr_write_efficiency", 0.55, 0.85),
+                        ("ddr_queue_scale_ns", 30.0, 90.0),
+                        ("controller_latency_scale", 0.5, 2.0),
+                        ("cxl_backing_efficiency", 0.7, 1.0),
+                        ("rsf_cap_gbps", 10.0, 40.0),
+                        ("upi_write_credit_gbps", 10.0, 40.0),
+                    ])
+                },
+                truth: ModelParams::default,
+                plan: || {
+                    let mixes = ["1:0", "2:1", "1:1", "0:1"];
+                    let mut plan = Vec::new();
+                    for m in mixes {
+                        plan.push((Distance::LocalDram, mix(m)));
+                    }
+                    for m in mixes {
+                        plan.push((Distance::LocalCxl, mix(m)));
+                    }
+                    for m in ["1:0", "0:1"] {
+                        plan.push((Distance::RemoteDram, mix(m)));
+                    }
+                    for m in ["1:0", "2:1"] {
+                        plan.push((Distance::RemoteCxl, mix(m)));
+                    }
+                    plan
+                },
+            },
+            Self {
+                name: "cxl_dmsim_a1000",
+                description: "digitized CXL-DMSim (arXiv:2411.02282) A1000 loaded-latency curves",
+                tolerance_pct: 5.0,
+                data: include_str!("../data/cxl_dmsim_a1000.json"),
+                topology_label: "snc_domain_with_cxl",
+                topology: Topology::snc_domain_with_cxl,
+                space: || {
+                    ParamSpace::new(&[
+                        ("controller_latency_scale", 0.5, 2.0),
+                        ("cxl_backing_efficiency", 0.7, 1.0),
+                        ("cxl_queue_scale_ns", 10.0, 150.0),
+                        ("cxl_link_knee", 0.55, 0.95),
+                    ])
+                },
+                truth: || ModelParams {
+                    controller_latency_scale: 1.18,
+                    cxl_backing_efficiency: 0.945,
+                    cxl_queue_scale_ns: 62.0,
+                    cxl_link_knee: 0.7,
+                    ..ModelParams::default()
+                },
+                plan: || {
+                    vec![
+                        (Distance::LocalCxl, mix("1:0")),
+                        (Distance::LocalCxl, mix("2:1")),
+                        (Distance::LocalCxl, mix("0:1")),
+                        (Distance::LocalDram, mix("1:0")),
+                    ]
+                },
+            },
+            Self {
+                name: "cxlmemsim_pure",
+                description: "digitized CXLMemSim (arXiv:2303.06153) pure-latency-model curves",
+                tolerance_pct: 5.0,
+                data: include_str!("../data/cxlmemsim_pure.json"),
+                topology_label: "snc_domain_with_cxl",
+                topology: Topology::snc_domain_with_cxl,
+                space: || {
+                    ParamSpace::new(&[
+                        ("controller_latency_scale", 0.5, 2.0),
+                        ("cxl_backing_efficiency", 0.7, 1.0),
+                        ("cxl_queue_scale_ns", 10.0, 150.0),
+                        ("cxl_write_msg_fraction", 0.5, 1.0),
+                    ])
+                },
+                truth: || ModelParams {
+                    controller_latency_scale: 0.86,
+                    cxl_backing_efficiency: 0.88,
+                    cxl_queue_scale_ns: 38.0,
+                    cxl_write_msg_fraction: 0.8,
+                    ..ModelParams::default()
+                },
+                plan: || {
+                    vec![
+                        (Distance::LocalCxl, mix("1:0")),
+                        (Distance::LocalCxl, mix("1:1")),
+                    ]
+                },
+            },
+            Self {
+                name: "slow_asic",
+                description: "hypothetical slower ASIC controller (latency-scaled A1000)",
+                tolerance_pct: 6.0,
+                data: include_str!("../data/slow_asic.json"),
+                topology_label: "snc_domain_with_cxl",
+                topology: Topology::snc_domain_with_cxl,
+                space: || {
+                    ParamSpace::new(&[
+                        ("controller_latency_scale", 0.5, 3.0),
+                        ("cxl_backing_efficiency", 0.6, 1.0),
+                        ("cxl_queue_scale_ns", 10.0, 150.0),
+                    ])
+                },
+                truth: || ModelParams {
+                    controller_latency_scale: 2.2,
+                    cxl_backing_efficiency: 0.8,
+                    cxl_queue_scale_ns: 95.0,
+                    ..ModelParams::default()
+                },
+                plan: || {
+                    vec![
+                        (Distance::LocalCxl, mix("1:0")),
+                        (Distance::LocalCxl, mix("2:1")),
+                        (Distance::LocalCxl, mix("0:1")),
+                    ]
+                },
+            },
+            Self {
+                name: "cxl2_switch",
+                description: "CXL 2.0 switch-attached pool (hop latency under calibration)",
+                tolerance_pct: 6.0,
+                data: include_str!("../data/cxl2_switch.json"),
+                topology_label: "pooled_host(256, 256, 70ns)",
+                topology: || Topology::pooled_host(256, 256, 70.0),
+                space: || {
+                    ParamSpace::new(&[
+                        ("switch_hop_scale", 0.5, 2.5),
+                        ("controller_latency_scale", 0.5, 2.0),
+                        ("cxl_queue_scale_ns", 10.0, 150.0),
+                    ])
+                },
+                truth: || ModelParams {
+                    switch_hop_scale: 1.3,
+                    controller_latency_scale: 1.05,
+                    cxl_queue_scale_ns: 52.0,
+                    ..ModelParams::default()
+                },
+                plan: || {
+                    vec![
+                        (Distance::LocalCxl, mix("1:0")),
+                        (Distance::LocalCxl, mix("2:1")),
+                        (Distance::LocalDram, mix("1:0")),
+                    ]
+                },
+            },
+        ]
+    }
+
+    /// Looks a target up by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::registry().into_iter().find(|t| t.name == name)
+    }
+
+    /// The registry's names, in canonical order.
+    pub fn names() -> Vec<&'static str> {
+        Self::registry().into_iter().map(|t| t.name).collect()
+    }
+
+    /// Parses the shipped measurement set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the in-repo data file is malformed — a build problem,
+    /// not a runtime condition.
+    pub fn measurements(&self) -> MeasurementSet {
+        MeasurementSet::from_json(self.data)
+            .unwrap_or_else(|e| panic!("shipped data for '{}' invalid: {e}", self.name))
+    }
+
+    /// Builds the topology the measurements were taken on.
+    pub fn topology(&self) -> Topology {
+        (self.topology)()
+    }
+
+    /// The target's free-parameter space.
+    pub fn space(&self) -> ParamSpace {
+        (self.space)()
+    }
+
+    /// The synthetic truth vector the shipped data file was generated
+    /// from (the shipped defaults for `paper_s3`).
+    pub fn synthetic_truth(&self) -> ModelParams {
+        (self.truth)()
+    }
+
+    /// Regenerates the measurement set exactly as shipped (same truth,
+    /// sweep grid, and digitization) — the provenance anchor used by
+    /// `src/bin/regen_data.rs` and the data-drift test.
+    pub fn regenerate(&self) -> MeasurementSet {
+        let topo = self.topology();
+        let truth = self.synthetic_truth();
+        let sys = MemSystem::with_params(&topo, &truth);
+        let mlc = Mlc::new(MlcConfig {
+            steps: GEN_STEPS,
+            ..Default::default()
+        });
+        synthesize(
+            &sys,
+            &mlc,
+            self.name,
+            self.description,
+            self.topology_label,
+            &(self.plan)(),
+            Some(GEN_DIGITS),
+        )
+    }
+}
+
+fn mix(s: &str) -> AccessMix {
+    AccessMix::parse(s).expect("registry mixes parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_five_named_targets() {
+        assert_eq!(
+            CalibrationTarget::names(),
+            vec![
+                "paper_s3",
+                "cxl_dmsim_a1000",
+                "cxlmemsim_pure",
+                "slow_asic",
+                "cxl2_switch"
+            ]
+        );
+        assert!(CalibrationTarget::by_name("paper_s3").is_some());
+        assert!(CalibrationTarget::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_target_is_internally_consistent() {
+        for t in CalibrationTarget::registry() {
+            let set = t.measurements();
+            assert_eq!(set.name, t.name, "data file name matches registry");
+            assert!(set.point_count() > 0);
+            assert!(t.tolerance_pct > 0.0);
+            let space = t.space();
+            assert!(!space.dims.is_empty());
+            assert!(
+                space.contains(&t.synthetic_truth()),
+                "'{}': truth must lie inside its own space",
+                t.name
+            );
+            // Every distance the set references must exist on the
+            // target's topology (evaluate would panic otherwise).
+            let sys = MemSystem::with_params(&t.topology(), &ModelParams::default());
+            let have: Vec<Distance> = Mlc::distance_endpoints(&sys)
+                .into_iter()
+                .map(|(d, _, _)| d)
+                .collect();
+            for c in &set.curves {
+                assert!(
+                    have.contains(&c.parsed_distance()),
+                    "'{}': curve '{}' needs {}",
+                    t.name,
+                    c.label,
+                    c.distance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shipped_data_files_match_their_generator() {
+        for t in CalibrationTarget::registry() {
+            assert_eq!(
+                t.measurements(),
+                t.regenerate(),
+                "'{}': data file drifted from its generation spec — \
+                 run `cargo run -p cxl-calib --bin regen_data`",
+                t.name
+            );
+        }
+    }
+}

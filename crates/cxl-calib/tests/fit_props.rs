@@ -1,0 +1,106 @@
+//! Property tests for the calibration fitter.
+//!
+//! Three invariants across the configuration space, not just the
+//! registry defaults:
+//!
+//! * **purity** — a fit is a pure function of `(set, space, start,
+//!   config)`: same inputs, bit-identical outputs;
+//! * **monotone descent** — the recorded trace is strictly decreasing
+//!   and the final loss never exceeds the start loss;
+//! * **round-trip** — a set synthesized from parameters `p` with no
+//!   digitization scores exactly zero residual under `p`.
+
+use cxl_calib::{evaluate, fit, synthesize, FitConfig, MeasurementSet, ParamSpace, SerialMap};
+use cxl_mlc::{Mlc, MlcConfig};
+use cxl_perf::{AccessMix, Distance, MemSystem, ModelParams};
+use cxl_topology::Topology;
+use proptest::prelude::*;
+
+fn small_space() -> ParamSpace {
+    ParamSpace::new(&[
+        ("controller_latency_scale", 0.5, 2.5),
+        ("cxl_backing_efficiency", 0.7, 1.0),
+        ("cxl_queue_scale_ns", 10.0, 150.0),
+    ])
+}
+
+fn small_set(truth: &ModelParams, topo: &Topology) -> MeasurementSet {
+    let sys = MemSystem::with_params(topo, truth);
+    let mlc = Mlc::new(MlcConfig {
+        steps: 5,
+        ..Default::default()
+    });
+    synthesize(
+        &sys,
+        &mlc,
+        "prop",
+        "exact synthesis",
+        "snc_domain_with_cxl",
+        &[(Distance::LocalCxl, AccessMix::ratio(2, 1))],
+        None,
+    )
+}
+
+fn small_cfg(seed: u64) -> FitConfig {
+    FitConfig {
+        rounds: 2,
+        candidates_per_dim: 4,
+        zooms: 2,
+        seed,
+        shrink: 0.5,
+    }
+}
+
+proptest! {
+    /// Same inputs → bit-identical fit, whatever the seed and start.
+    #[test]
+    fn fit_is_pure(seed in 0u64..1_000_000, frac in 0.0..0.4f64) {
+        let topo = Topology::snc_domain_with_cxl();
+        let truth = ModelParams::default();
+        let set = small_set(&truth, &topo);
+        let space = small_space();
+        let start = space.perturbed_start(&truth, seed, frac);
+        let cfg = small_cfg(seed);
+        let a = fit(&SerialMap, &topo, &set, &space, start, &cfg);
+        let b = fit(&SerialMap, &topo, &set, &space, start, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The descent trace is strictly decreasing, ends at the final
+    /// loss, and never rises above the start.
+    #[test]
+    fn descent_is_monotone(seed in 0u64..1_000_000, frac in 0.05..0.5f64) {
+        let topo = Topology::snc_domain_with_cxl();
+        let truth = ModelParams::default();
+        let set = small_set(&truth, &topo);
+        let space = small_space();
+        let start = space.perturbed_start(&truth, seed, frac);
+        let r = fit(&SerialMap, &topo, &set, &space, start, &small_cfg(seed));
+        prop_assert!(r.final_loss <= r.start_loss);
+        let mut prev = r.start_loss;
+        for s in &r.steps {
+            prop_assert!(s.loss < prev, "non-improving step {:?}", s);
+            prev = s.loss;
+        }
+        prop_assert_eq!(
+            r.final_loss,
+            r.steps.last().map_or(r.start_loss, |s| s.loss)
+        );
+        prop_assert!(space.contains(&r.fitted));
+    }
+
+    /// Synthesize-then-evaluate at the same parameters is exact: the
+    /// measurement format and the scoring path share one model drive,
+    /// so the round trip loses nothing.
+    #[test]
+    fn exact_round_trip_scores_zero(seed in 0u64..1_000_000, frac in 0.0..0.6f64) {
+        let topo = Topology::snc_domain_with_cxl();
+        let space = small_space();
+        let p = space.perturbed_start(&ModelParams::default(), seed, frac);
+        let set = small_set(&p, &topo);
+        let report = evaluate(&topo, &p, &set);
+        prop_assert_eq!(report.loss, 0.0);
+        prop_assert_eq!(report.max_residual_pct, 0.0);
+        prop_assert_eq!(report.rmse_pct, 0.0);
+    }
+}

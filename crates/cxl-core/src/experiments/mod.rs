@@ -19,9 +19,11 @@
 //! | [`autotune`] | Online adaptive control (`cxl-ctl`) vs every static config on a phased trace |
 //! | [`serve`] | Open-loop multi-tenant serving (`cxl-serve`): adaptive leases vs static provisioning on a diurnal trace with a mid-run fault |
 //! | [`heap`] | Managed-heap GC on tiered memory (`cxl-heap`): promotion storms vs storm-aware promotion and generational segregation |
+//! | [`calib`] | ROADMAP item 5: calibration & validation — fit the model to every registered measurement set (`cxl-calib`), gate on residual tolerances |
 
 pub mod autotune;
 pub mod balancer;
+pub mod calib;
 pub mod colocation;
 pub mod cost;
 pub mod error;

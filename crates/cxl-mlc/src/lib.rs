@@ -66,6 +66,23 @@ pub struct LoadedPoint {
     pub latency_ns: f64,
 }
 
+impl LoadedPoint {
+    /// The injection rate the worker set actually sustains at this
+    /// step: the offered rate until saturation, the achieved bandwidth
+    /// past it.
+    ///
+    /// A closed-loop MLC worker cannot issue faster than the system
+    /// retires its requests, so overdriven steps all operate at the
+    /// saturated rate — real measurement sweeps plot that achieved
+    /// rate, never the nominal one. Earlier consumers read
+    /// `offered_gbps` as the operating rate, conflating unreachable
+    /// nominal rates with the saturation point past the knee; rate
+    /// comparisons against external measurements must use this instead.
+    pub fn achieved_rate_gbps(&self) -> f64 {
+        self.offered_gbps.min(self.bandwidth_gbps)
+    }
+}
+
 /// The MLC-style benchmark harness.
 #[derive(Debug, Clone)]
 pub struct Mlc {
@@ -118,6 +135,56 @@ impl Mlc {
         (1..=self.cfg.steps)
             .map(|i| {
                 let offered = top * i as f64 / self.cfg.steps as f64;
+                let out = sys.loaded_point(FlowSpec::new(from, node, mix, offered));
+                LoadedPoint {
+                    offered_gbps: offered,
+                    bandwidth_gbps: out.achieved_gbps,
+                    latency_ns: out.latency_ns,
+                }
+            })
+            .collect()
+    }
+
+    /// Machine-readable loaded-latency sweep: `(rate_gbps, latency_ns,
+    /// bandwidth_gbps)` tuples in step order.
+    ///
+    /// The rate column is the *achieved* injection rate
+    /// ([`LoadedPoint::achieved_rate_gbps`]): equal to the nominal
+    /// offered rate below saturation and clamped to the achieved
+    /// bandwidth past it, which is what external measurement sweeps
+    /// report. This is the export the `cxl-calib` fitter compares
+    /// against digitized curves.
+    pub fn sweep_points(
+        &self,
+        sys: &MemSystem,
+        from: SocketId,
+        node: NodeId,
+        mix: AccessMix,
+    ) -> Vec<(f64, f64, f64)> {
+        self.loaded_latency(sys, from, node, mix)
+            .into_iter()
+            .map(|p| (p.achieved_rate_gbps(), p.latency_ns, p.bandwidth_gbps))
+            .collect()
+    }
+
+    /// Evaluates the model at an explicit list of offered rates (GB/s),
+    /// one solved point per rate, in input order.
+    ///
+    /// This is how the `cxl-calib` fitter drives the model at exactly
+    /// the offered rates of a measurement set — through the same
+    /// single-flow solve path [`Mlc::loaded_latency`] uses — instead of
+    /// interpolating between grid steps.
+    pub fn sweep_at(
+        &self,
+        sys: &MemSystem,
+        from: SocketId,
+        node: NodeId,
+        mix: AccessMix,
+        offered_gbps: &[f64],
+    ) -> Vec<LoadedPoint> {
+        offered_gbps
+            .iter()
+            .map(|&offered| {
                 let out = sys.loaded_point(FlowSpec::new(from, node, mix, offered));
                 LoadedPoint {
                     offered_gbps: offered,
@@ -321,6 +388,47 @@ mod tests {
         assert!((peak - 66.8).abs() < 1.0, "peak {peak}");
         // Overdriven steps achieve no more than peak.
         assert!(pts.last().unwrap().bandwidth_gbps <= peak + 1e-9);
+    }
+
+    #[test]
+    fn sweep_points_report_achieved_rate_at_saturation() {
+        let s = sys();
+        let m = mlc();
+        let pts = m.loaded_latency(&s, SocketId(0), NodeId(0), AccessMix::read_only());
+        let tuples = m.sweep_points(&s, SocketId(0), NodeId(0), AccessMix::read_only());
+        assert_eq!(tuples.len(), pts.len());
+        let peak = Mlc::peak_bandwidth(&pts);
+        for (p, &(rate, lat, bw)) in pts.iter().zip(tuples.iter()) {
+            assert_eq!(lat, p.latency_ns);
+            assert_eq!(bw, p.bandwidth_gbps);
+            // Below saturation the rate is the offered rate; past it the
+            // nominal offered rate is unreachable and the reported rate
+            // clamps to what the workers actually sustain.
+            if p.bandwidth_gbps < p.offered_gbps {
+                assert_eq!(rate, p.bandwidth_gbps, "saturated step reports achieved");
+                assert!((rate - peak).abs() < 1e-9);
+            } else {
+                assert_eq!(rate, p.offered_gbps);
+            }
+        }
+        // The default sweep overdrives to 1.25x peak, so the conflation
+        // is actually exercised: some steps must clamp.
+        assert!(tuples
+            .iter()
+            .any(|&(r, _, _)| r < pts.last().unwrap().offered_gbps - 1.0));
+    }
+
+    #[test]
+    fn sweep_at_matches_the_grid_sweep_pointwise() {
+        let s = sys();
+        let m = mlc();
+        let grid = m.loaded_latency(&s, SocketId(0), NodeId(0), AccessMix::ratio(2, 1));
+        let rates: Vec<f64> = grid.iter().map(|p| p.offered_gbps).collect();
+        let explicit = m.sweep_at(&s, SocketId(0), NodeId(0), AccessMix::ratio(2, 1), &rates);
+        assert_eq!(explicit.len(), grid.len());
+        for (a, b) in grid.iter().zip(explicit.iter()) {
+            assert_eq!(a, b, "same offered rate must solve identically");
+        }
     }
 
     #[test]

@@ -32,11 +32,13 @@
 pub mod calib;
 pub mod curve;
 pub mod mix;
+pub mod params;
 pub mod system;
 pub mod tuning;
 
 pub use curve::QueueModel;
 pub use mix::{AccessMix, Pattern};
+pub use params::ModelParams;
 pub use system::{
     solve_cache_reset, solve_cache_stats, Distance, FlowOutcome, FlowSpec, LatencyBreakdown,
     MemSystem, PerfError, ResourceKind, SolveCacheStats, SolveResult,

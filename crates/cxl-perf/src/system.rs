@@ -26,15 +26,10 @@ use serde::{Deserialize, Serialize};
 
 use cxl_topology::{MemoryTier, NodeId, NumaNode, SocketId, Topology};
 
-use crate::calib;
 use crate::curve::QueueModel;
 use crate::mix::AccessMix;
+use crate::params::ModelParams;
 use crate::tuning::PerfTuning;
-
-/// Read-equivalent cost of one written byte on a DDR channel group.
-fn write_cost_factor() -> f64 {
-    calib::DDR_READ_EFFICIENCY / calib::DDR_WRITE_EFFICIENCY
-}
 
 /// Access distance classes from §3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -57,6 +52,19 @@ impl Distance {
             Distance::RemoteDram => "MMEM-r",
             Distance::LocalCxl => "CXL",
             Distance::RemoteCxl => "CXL-r",
+        }
+    }
+
+    /// Parses a paper label back into the distance (the inverse of
+    /// [`Distance::label`]); `None` for unknown labels. Measurement
+    /// sets name their curves with these labels.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "MMEM" => Some(Distance::LocalDram),
+            "MMEM-r" => Some(Distance::RemoteDram),
+            "CXL" => Some(Distance::LocalCxl),
+            "CXL-r" => Some(Distance::RemoteCxl),
+            _ => None,
         }
     }
 }
@@ -500,6 +508,8 @@ pub struct MemSystem {
     /// Per-CXL-node device parameters (controller latency, efficiencies).
     cxl_params: MemoMap<NodeId, CxlNodeParams>,
     sockets: Vec<SocketId>,
+    /// The model parameters the resource graph was built from.
+    params: ModelParams,
     /// Structural fingerprint keying the process-wide solve cache:
     /// systems built from identical topologies and tunings share cache
     /// entries, distinct models never collide.
@@ -536,13 +546,29 @@ impl MemSystem {
     }
 
     /// Builds the resource graph with platform overrides (ablations and
-    /// next-generation projections).
+    /// next-generation projections). The tuning knobs overlay the
+    /// default [`ModelParams`]; see [`MemSystem::with_params`] for the
+    /// full parameter surface.
     ///
     /// # Panics
     ///
     /// Panics on more than two sockets or an invalid tuning.
     pub fn with_tuning(topo: &Topology, tuning: PerfTuning) -> Self {
         tuning.validate();
+        Self::with_params(topo, &tuning.to_params())
+    }
+
+    /// Builds the resource graph from an explicit parameter set — the
+    /// constructor the `cxl-calib` fitter drives with candidate
+    /// parameter vectors. `with_params(topo, &ModelParams::default())`
+    /// is bit-identical to [`MemSystem::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on more than two sockets or invalid parameters.
+    pub fn with_params(topo: &Topology, params: &ModelParams) -> Self {
+        params.validate();
+        let p = *params;
         assert!(
             topo.sockets.len() <= 2,
             "the performance model covers 1- and 2-socket platforms"
@@ -564,31 +590,20 @@ impl MemSystem {
         };
 
         let ddr_queue = QueueModel {
-            knee: tuning.ddr_knee_read,
-            knee_write_shift: tuning.ddr_knee_read - tuning.ddr_knee_write,
-            queue_scale_ns: tuning.ddr_queue_scale_ns,
-            linear_ns: calib::DDR_LINEAR_NS,
+            knee: p.ddr_knee_read,
+            knee_write_shift: p.ddr_knee_read - p.ddr_knee_write,
+            queue_scale_ns: p.ddr_queue_scale_ns,
+            linear_ns: p.ddr_linear_ns,
         };
-        let link_queue = QueueModel::fixed(
-            calib::CXL_LINK_KNEE,
-            calib::CXL_QUEUE_SCALE_NS,
-            calib::DDR_LINEAR_NS * 0.5,
-        );
-        let upi_queue = QueueModel::fixed(
-            calib::UPI_KNEE,
-            calib::UPI_QUEUE_SCALE_NS,
-            calib::DDR_LINEAR_NS * 0.5,
-        );
-        let rsf_queue = QueueModel::fixed(
-            calib::RSF_KNEE,
-            calib::RSF_QUEUE_SCALE_NS,
-            calib::DDR_LINEAR_NS,
-        );
+        let link_queue =
+            QueueModel::fixed(p.cxl_link_knee, p.cxl_queue_scale_ns, p.ddr_linear_ns * 0.5);
+        let upi_queue = QueueModel::fixed(p.upi_knee, p.upi_queue_scale_ns, p.ddr_linear_ns * 0.5);
+        let rsf_queue = QueueModel::fixed(p.rsf_knee, p.rsf_queue_scale_ns, p.ddr_linear_ns);
 
         for n in &nodes {
             match n.tier {
                 MemoryTier::LocalDram => {
-                    let cap = n.peak_bandwidth_gbps() * calib::DDR_READ_EFFICIENCY;
+                    let cap = n.peak_bandwidth_gbps() * p.ddr_read_efficiency;
                     add(ResourceKind::DdrGroup(n.id), cap, ddr_queue);
                 }
                 MemoryTier::CxlExpander => {
@@ -602,22 +617,23 @@ impl MemSystem {
                         continue;
                     }
                     let backing = dev.backing_bandwidth_gbps()
-                        * calib::DDR_READ_EFFICIENCY
-                        * calib::CXL_BACKING_EFFICIENCY;
+                        * p.ddr_read_efficiency
+                        * p.cxl_backing_efficiency;
                     let link = dev.effective_link_bandwidth_gbps();
                     add(ResourceKind::CxlBacking(n.id), backing, ddr_queue);
                     add(ResourceKind::CxlLinkD2h(n.id), link, link_queue);
                     add(ResourceKind::CxlLinkH2d(n.id), link, link_queue);
                     add(
                         ResourceKind::CxlWriteMsg(n.id),
-                        link * calib::CXL_WRITE_MSG_FRACTION,
+                        link * p.cxl_write_msg_fraction,
                         link_queue,
                     );
                     cxl_params.insert(
                         n.id,
                         CxlNodeParams {
-                            controller_latency_ns: dev.effective_controller_latency_ns(),
-                            switch_hop_ns: dev.switch_hop_ns,
+                            controller_latency_ns: dev.effective_controller_latency_ns()
+                                * p.controller_latency_scale,
+                            switch_hop_ns: dev.switch_hop_ns * p.switch_hop_scale,
                         },
                     );
                 }
@@ -632,18 +648,18 @@ impl MemSystem {
                 add(ResourceKind::UpiDir(from, to), upi_dir_bw, upi_queue);
                 add(
                     ResourceKind::UpiWriteCredit(from, to),
-                    tuning.upi_write_credit_gbps,
+                    p.upi_write_credit_gbps,
                     upi_queue,
                 );
             }
             for s in [a, b] {
-                if !topo.sockets[s.0].cxl_devices.is_empty() && tuning.rsf_cap_gbps.is_finite() {
-                    add(ResourceKind::Rsf(s), tuning.rsf_cap_gbps, rsf_queue);
+                if !topo.sockets[s.0].cxl_devices.is_empty() && p.rsf_cap_gbps.is_finite() {
+                    add(ResourceKind::Rsf(s), p.rsf_cap_gbps, rsf_queue);
                 }
             }
         }
 
-        let cxl_remote_extra_ns = calib::CXL_REMOTE_READ_IDLE_NS - calib::CXL_READ_IDLE_NS;
+        let cxl_remote_extra_ns = p.cxl_remote_extra_ns;
         let fingerprint = {
             use std::hash::{Hash, Hasher};
             // Debug formatting gives every f64 its shortest exact
@@ -661,6 +677,11 @@ impl MemSystem {
             params.sort();
             format!("{params:?}").hash(&mut h);
             format!("{sockets:?}").hash(&mut h);
+            // The fitter builds one system per candidate parameter
+            // vector; parameters that shape latency but no resource
+            // (idle latencies, coherence overheads) must still keep
+            // those candidates' cache entries apart.
+            format!("{p:?}").hash(&mut h);
             h.finish()
         };
         Self {
@@ -670,8 +691,14 @@ impl MemSystem {
             cxl_remote_extra_ns,
             cxl_params,
             sockets,
+            params: p,
             fingerprint,
         }
+    }
+
+    /// The model parameters this system was built from.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
     }
 
     /// The NUMA nodes of the underlying topology.
@@ -719,7 +746,7 @@ impl MemSystem {
         }
         let r = mix.read_fraction;
         let w = mix.write_fraction();
-        let wf = write_cost_factor();
+        let wf = self.params.write_cost_factor();
         let mut segments = Vec::new();
 
         let ddr_coef = r + w * wf;
@@ -762,9 +789,9 @@ impl MemSystem {
         let remote = n.socket != from;
         if remote {
             let coh = if mix.nt_writes {
-                calib::UPI_NT_COHERENCE_OVERHEAD
+                self.params.upi_nt_coherence_overhead
             } else {
-                calib::UPI_COHERENCE_OVERHEAD
+                self.params.upi_coherence_overhead
             };
             let out = w * (1.0 + coh); // Accessor -> memory socket.
             let back = r + w * coh; // Memory socket -> accessor.
@@ -831,15 +858,15 @@ impl MemSystem {
         let (read_idle, write_idle) = match n.tier {
             MemoryTier::LocalDram => {
                 let read = if remote {
-                    calib::MMEM_READ_IDLE_NS + calib::UPI_HOP_NS
+                    self.params.mmem_read_idle_ns + self.params.upi_hop_ns
                 } else {
-                    calib::MMEM_READ_IDLE_NS
+                    self.params.mmem_read_idle_ns
                 };
                 let write = if mix.nt_writes {
                     if remote {
-                        calib::NT_WRITE_IDLE_REMOTE_NS
+                        self.params.nt_write_idle_remote_ns
                     } else {
-                        calib::NT_WRITE_IDLE_LOCAL_NS
+                        self.params.nt_write_idle_local_ns
                     }
                 } else {
                     // Allocating writes pay a read-for-ownership round trip.
@@ -852,15 +879,17 @@ impl MemSystem {
                     .cxl_params
                     .get(&node)
                     .ok_or(PerfError::NodeOffline(node))?;
-                let base =
-                    calib::MMEM_READ_IDLE_NS + params.controller_latency_ns + params.switch_hop_ns;
+                let base = self.params.mmem_read_idle_ns
+                    + params.controller_latency_ns
+                    + params.switch_hop_ns;
                 let read = if remote {
                     base + self.cxl_remote_extra_ns
                 } else {
                     base
                 };
                 let write = if mix.nt_writes {
-                    calib::CXL_NT_WRITE_IDLE_NS + if remote { calib::UPI_HOP_NS } else { 0.0 }
+                    self.params.cxl_nt_write_idle_ns
+                        + if remote { self.params.upi_hop_ns } else { 0.0 }
                 } else {
                     read
                 };
@@ -1282,6 +1311,7 @@ impl MemSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::calib;
     use cxl_topology::{SncMode, Topology};
 
     fn sys() -> MemSystem {

@@ -57,6 +57,19 @@ impl PerfTuning {
         }
     }
 
+    /// Expands the tuning into a full [`crate::ModelParams`]: the five
+    /// knobs overlay the calibrated defaults.
+    pub fn to_params(&self) -> crate::ModelParams {
+        crate::ModelParams {
+            rsf_cap_gbps: self.rsf_cap_gbps,
+            ddr_knee_read: self.ddr_knee_read,
+            ddr_knee_write: self.ddr_knee_write,
+            ddr_queue_scale_ns: self.ddr_queue_scale_ns,
+            upi_write_credit_gbps: self.upi_write_credit_gbps,
+            ..crate::ModelParams::default()
+        }
+    }
+
     /// Moves the DDR knee, preserving the read/write gap (ablation:
     /// knee-position sensitivity).
     pub fn with_knee(mut self, knee_read: f64) -> Self {

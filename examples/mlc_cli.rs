@@ -49,10 +49,15 @@ fn main() {
                 continue;
             }
             println!("== {} ==", d.label());
+            // The inject column is the rate the workers actually
+            // sustain — overdriven steps clamp at saturation instead of
+            // echoing the unreachable nominal rate.
             for p in mlc.loaded_latency(&sys, from, node, mix) {
                 println!(
                     "{:>10.1} {:>14.1} {:>14.1}",
-                    p.offered_gbps, p.latency_ns, p.bandwidth_gbps
+                    p.achieved_rate_gbps(),
+                    p.latency_ns,
+                    p.bandwidth_gbps
                 );
             }
         }

@@ -6,6 +6,7 @@
 //! a single dependency. See `README.md` for the workspace tour.
 
 pub use cxl_alloc as alloc;
+pub use cxl_calib as calib;
 pub use cxl_core as core_api;
 pub use cxl_cost as cost;
 pub use cxl_ctl as ctl;

@@ -1,0 +1,73 @@
+//! Acceptance tests for the calibration harness: the fitter must pull
+//! the model back onto the paper's §3 curves from a deliberately
+//! perturbed start, and every shipped data file must score ~zero
+//! residual under its own generating parameters.
+
+use cxl_repro::calib::{evaluate, fit, CalibrationTarget, FitConfig, SerialMap};
+
+#[test]
+fn paper_s3_fits_within_tolerance_from_perturbed_start() {
+    let t = CalibrationTarget::by_name("paper_s3").expect("paper target exists");
+    let topo = t.topology();
+    let set = t.measurements();
+    let space = t.space();
+    let truth = t.synthetic_truth();
+
+    // Knock every free dimension up to ±10% off the calibrated values,
+    // then require the fit to land back within the pinned tolerance.
+    let start = space.perturbed_start(&truth, 20_240_427, 0.10);
+    let before = evaluate(&topo, &start, &set);
+    let r = fit(
+        &SerialMap,
+        &topo,
+        &set,
+        &space,
+        start,
+        &FitConfig::default(),
+    );
+    let after = evaluate(&topo, &r.fitted, &set);
+
+    assert!(
+        after.max_residual_pct <= t.tolerance_pct,
+        "fitted max residual {:.3}% exceeds the {:.1}% tolerance (start was {:.3}%)",
+        after.max_residual_pct,
+        t.tolerance_pct,
+        before.max_residual_pct
+    );
+    assert!(
+        after.max_residual_pct < before.max_residual_pct,
+        "fit did not improve on the perturbed start"
+    );
+    assert!(r.final_loss <= r.start_loss);
+}
+
+#[test]
+fn every_target_scores_near_zero_under_its_generating_parameters() {
+    for t in CalibrationTarget::registry() {
+        let report = evaluate(&t.topology(), &t.synthetic_truth(), &t.measurements());
+        // The only residual left is the data files' 4-significant-digit
+        // rounding, which is well under a tenth of a percent.
+        assert!(
+            report.max_residual_pct < 0.1,
+            "'{}': truth params score {:.4}% max residual",
+            t.name,
+            report.max_residual_pct
+        );
+    }
+}
+
+#[test]
+fn fit_is_a_pure_function_of_its_inputs() {
+    let t = CalibrationTarget::by_name("cxlmemsim_pure").expect("target exists");
+    let topo = t.topology();
+    let set = t.measurements();
+    let space = t.space();
+    let start = space.perturbed_start(&t.synthetic_truth(), 7, 0.2);
+    let cfg = FitConfig {
+        rounds: 2,
+        ..Default::default()
+    };
+    let a = fit(&SerialMap, &topo, &set, &space, start, &cfg);
+    let b = fit(&SerialMap, &topo, &set, &space, start, &cfg);
+    assert_eq!(a, b, "identical inputs must give identical fits");
+}

@@ -6,7 +6,7 @@
 //! by one ulp fails the test.
 
 use cxl_repro::core_api::experiments::{
-    autotune, balancer, colocation, heap, keydb, latency, llm, serve, slo, spark, vm,
+    autotune, balancer, calib, colocation, heap, keydb, latency, llm, serve, slo, spark, vm,
 };
 use cxl_repro::core_api::{CapacityConfig, Runner};
 
@@ -166,4 +166,17 @@ fn slo_parallel_matches_serial() {
     let a = slo::run_with(&Runner::new(1), &configs, &params);
     let b = slo::run_with(&Runner::new(8), &configs, &params);
     assert_bit_identical(&a, &b, "slo");
+}
+
+#[test]
+fn calib_parallel_matches_serial() {
+    // The calibration fitter shards its candidate grids across the
+    // runner (rather than the cells themselves), so this exercises the
+    // order-preservation contract of `Runner::map` inside a tight
+    // argmin loop: one reordered loss and the descent takes a
+    // different path.
+    let params = calib::CalibParams::smoke();
+    let a = calib::run_with(&Runner::new(1), params);
+    let b = calib::run_with(&Runner::new(8), params);
+    assert_bit_identical(&a, &b, "calib");
 }
